@@ -1,0 +1,341 @@
+// Benchmarks regenerating (scaled-down instances of) every figure and
+// experiment in EXPERIMENTS.md, one benchmark per artifact, plus engine
+// micro-benchmarks. `go test -bench=. -benchmem` runs them all; the full-
+// size tables come from `go run ./cmd/figures -exp all`.
+package windtunnel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/dist"
+	"repro/internal/repair"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/sla"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/validate"
+	"repro/internal/workload"
+)
+
+// benchScenario is a small availability scenario shared by the
+// experiment benchmarks.
+func benchScenario() Scenario {
+	sc := DefaultScenario()
+	sc.Cluster.Racks = 2
+	sc.Cluster.NodesPerRack = 5
+	sc.Cluster.NodeTTF = dist.Must(dist.ExpMean(500))
+	sc.Cluster.NodeRepair = dist.Must(dist.NewDeterministic(12))
+	sc.Users = 200
+	sc.ObjectSizeMB = 32
+	sc.HorizonHours = 2000
+	sc.Repair.Detection = dist.Must(dist.NewDeterministic(2))
+	return sc
+}
+
+// BenchmarkFigure1Random measures one Monte-Carlo Figure-1 point under
+// Random placement (F1).
+func BenchmarkFigure1Random(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Figure1(Figure1Config{
+			N: 30, Replicas: 3, Failures: 3, Users: 10000,
+			Placement: "random", Trials: 50, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1RoundRobin measures the same point under RoundRobin (F1).
+func BenchmarkFigure1RoundRobin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Figure1(Figure1Config{
+			N: 30, Replicas: 3, Failures: 3, Users: 10000,
+			Placement: "roundrobin", Trials: 50, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Exact measures the closed-form curve (F1's overlay):
+// both placements, all failure counts, N=30.
+func BenchmarkFigure1Exact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for f := 0; f <= 30; f++ {
+			if _, err := analytic.RandomPlacementUnavailability(30, 3, f, 10000); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := analytic.RoundRobinUnavailability(30, 5, f, 10000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRepairTradeoff measures one E1 trial (replication vs repair).
+func BenchmarkRepairTradeoff(b *testing.B) {
+	sc := benchScenario()
+	sc.Repair.Mode = repair.Parallel
+	sc.Repair.MaxConcurrent = 8
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := Run(sc, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticError measures one E2 G/G/1-vs-M/M/1 comparison.
+func BenchmarkAnalyticError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := validate.ExponentialAssumptionError(0.6, 1.5, 0.8, 1, 20000, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterference measures one E3 co-located workload run.
+func BenchmarkInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(uint64(i))
+		n, err := workload.NewNodeModel(s, "n0", workload.NodeSpec{
+			Cores: 8, DiskIOPS: 210, NICMBps: 1250,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := workload.NewWorkload(s, "A", workload.Profile{
+			CPU: dist.Must(dist.ExpMean(0.002)), Disk: dist.Must(dist.ExpMean(1))},
+			[]*workload.NodeModel{n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bg, err := workload.NewWorkload(s, "B", workload.Profile{
+			Disk: dist.Must(dist.ExpMean(4))}, []*workload.NodeModel{n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.StartOpen(dist.Must(dist.ExpMean(0.02)), 5000); err != nil {
+			b.Fatal(err)
+		}
+		if err := bg.StartOpen(dist.Must(dist.ExpMean(0.1)), 1000); err != nil {
+			b.Fatal(err)
+		}
+		s.RunUntil(200)
+	}
+}
+
+// BenchmarkProvisioning measures one E4 provisioning point (workload sim
+// plus cost estimate).
+func BenchmarkProvisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(uint64(i))
+		n, err := workload.NewNodeModel(s, "n0", workload.NodeSpec{
+			Cores: 8, DiskIOPS: 210, NICMBps: 1250,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := workload.NewWorkload(s, "kv", workload.Profile{
+			CPU: dist.Must(dist.ExpMean(0.001)), Disk: dist.Must(dist.ExpMean(0.5))},
+			[]*workload.NodeModel{n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.StartOpen(dist.Must(dist.ExpMean(0.01)), 5000); err != nil {
+			b.Fatal(err)
+		}
+		s.RunUntil(100)
+		_ = w.Latencies().Quantile(0.95)
+	}
+}
+
+// BenchmarkPruning measures an E5 pruned sweep over 12 configurations.
+func BenchmarkPruning(b *testing.B) {
+	space, err := design.NewSpace(
+		design.Dimension{Name: "replicas", Values: []design.Value{2, 3, 5}, Monotone: true},
+		design.Dimension{Name: "placement", Values: []design.Value{"random", "roundrobin"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := sla.NewAvailability(0.99999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ex := &core.Explorer{
+			Space: space,
+			Build: func(p design.Point) (core.Scenario, []sla.SLA, error) {
+				sc := benchScenario()
+				sc.Seed = uint64(i + 1)
+				sc.Scheme = storage.ReplicationScheme(p.MustValue("replicas").(int))
+				sc.Placement = p.MustValue("placement").(string)
+				return sc, []sla.SLA{target}, nil
+			},
+			Runner: core.Runner{Trials: 1},
+			Prune:  true,
+		}
+		if _, err := ex.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSweep measures an E6 parallel (unpruned) sweep.
+func BenchmarkParallelSweep(b *testing.B) {
+	space, err := design.NewSpace(
+		design.Dimension{Name: "replicas", Values: []design.Value{2, 3}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ex := &core.Explorer{
+			Space: space,
+			Build: func(p design.Point) (core.Scenario, []sla.SLA, error) {
+				sc := benchScenario()
+				sc.Seed = uint64(i + 1)
+				sc.Scheme = storage.ReplicationScheme(p.MustValue("replicas").(int))
+				return sc, nil, nil
+			},
+			Runner:  core.Runner{Trials: 1},
+			Workers: 2,
+		}
+		if _, err := ex.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLimpware measures one E7 degraded-NIC workload run.
+func BenchmarkLimpware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(uint64(i))
+		n, err := workload.NewNodeModel(s, "n0", workload.NodeSpec{
+			Cores: 8, DiskIOPS: 75000, NICMBps: 125,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.DegradeNIC(0.01); err != nil {
+			b.Fatal(err)
+		}
+		w, err := workload.NewWorkload(s, "w", workload.Profile{
+			Net: dist.Must(dist.ExpMean(0.1))}, []*workload.NodeModel{n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.StartOpen(dist.Must(dist.ExpMean(0.05)), 2000); err != nil {
+			b.Fatal(err)
+		}
+		s.RunUntil(200)
+	}
+}
+
+// BenchmarkErasureVsReplication measures one E8 RS-scheme trial.
+func BenchmarkErasureVsReplication(b *testing.B) {
+	sc := benchScenario()
+	sc.Scheme = storage.RSScheme(6, 3)
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := Run(sc, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSEncode measures the Reed-Solomon substrate itself: RS(10,4)
+// over 64 KiB shards.
+func BenchmarkRSEncode(b *testing.B) {
+	code, err := storage.NewRSCode(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, 64<<10)
+		for j := range data[i] {
+			data[i][j] = byte(r.Intn(256))
+		}
+	}
+	b.SetBytes(int64(10 * 64 << 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitting measures one E9 log-generation + fit pipeline.
+func BenchmarkFitting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		events, err := trace.Generate(trace.GeneratorConfig{
+			Components: 50, Horizon: 50000,
+			TTF:    dist.Must(dist.NewWeibull(0.7, 1500)),
+			Repair: dist.Must(dist.NewLogNormal(2.2, 0.9)),
+			Seed:   uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := trace.FitModels(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidation measures one V1 M/M/1 validation run.
+func BenchmarkValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := validate.MM1SojournTime(0.5, 1, 20000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvents measures raw DES throughput (events/second).
+func BenchmarkEngineEvents(b *testing.B) {
+	s := sim.New(1)
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		s.Schedule(1, "tick", tick)
+	}
+	s.Schedule(0, "tick", tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+	b.ReportMetric(float64(b.N), "events")
+}
+
+// BenchmarkWTQL measures a full declarative query (parse + plan + run).
+func BenchmarkWTQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := Query(fmt.Sprintf(`
+			SIMULATE availability
+			VARY storage.replication IN (2, 3)
+			WITH users = 50, trials = 1, horizon_hours = 500, object_mb = 5,
+			     cluster.racks = 1, cluster.nodes_per_rack = 6, seed = %d`, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Executed == 0 {
+			b.Fatal("no configurations executed")
+		}
+	}
+}

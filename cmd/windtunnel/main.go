@@ -1,0 +1,250 @@
+// Command windtunnel runs one availability scenario — from a JSON file or
+// the built-in default — and prints the full metric report, SLA verdicts
+// and cost breakdown.
+//
+// Usage:
+//
+//	windtunnel                        # default scenario
+//	windtunnel -scenario dc.json -trials 20 -min-availability 0.999
+//
+// Scenario JSON schema (all fields optional; defaults in parentheses):
+//
+//	{
+//	  "racks": 3, "nodes_per_rack": 10,
+//	  "disk_spec": "hdd-7200", "disks_per_node": 4,
+//	  "nic_spec": "nic-10g", "cpu_spec": "cpu-8c", "mem_spec": "mem-64g",
+//	  "switch_spec": "switch-48p-10g",
+//	  "node_mttf_hours": 12000, "node_repair_hours": 12,
+//	  "users": 1000, "object_mb": 200,
+//	  "replication": 3, "rs_k": 0, "rs_m": 0,
+//	  "placement": "random",
+//	  "repair_mode": "parallel", "repair_concurrency": 8,
+//	  "detection_hours": 0,
+//	  "horizon_hours": 8766, "seed": 1
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/hardware"
+	"repro/internal/repair"
+	"repro/internal/sla"
+	"repro/internal/storage"
+
+	windtunnel "repro"
+)
+
+// scenarioSpec is the JSON-friendly scenario description.
+type scenarioSpec struct {
+	Racks             int     `json:"racks"`
+	NodesPerRack      int     `json:"nodes_per_rack"`
+	DiskSpec          string  `json:"disk_spec"`
+	DisksPerNode      int     `json:"disks_per_node"`
+	NICSpec           string  `json:"nic_spec"`
+	CPUSpec           string  `json:"cpu_spec"`
+	MemSpec           string  `json:"mem_spec"`
+	SwitchSpec        string  `json:"switch_spec"`
+	NodeMTTFHours     float64 `json:"node_mttf_hours"`
+	NodeRepairHours   float64 `json:"node_repair_hours"`
+	Users             int     `json:"users"`
+	ObjectMB          float64 `json:"object_mb"`
+	Replication       int     `json:"replication"`
+	RSK               int     `json:"rs_k"`
+	RSM               int     `json:"rs_m"`
+	Placement         string  `json:"placement"`
+	RepairMode        string  `json:"repair_mode"`
+	RepairConcurrency int     `json:"repair_concurrency"`
+	DetectionHours    float64 `json:"detection_hours"`
+	HorizonHours      float64 `json:"horizon_hours"`
+	Seed              uint64  `json:"seed"`
+}
+
+// apply overlays the non-zero spec fields onto the default scenario.
+func (sp scenarioSpec) apply() (windtunnel.Scenario, error) {
+	sc := windtunnel.DefaultScenario()
+	if sp.Racks > 0 {
+		sc.Cluster.Racks = sp.Racks
+	}
+	if sp.NodesPerRack > 0 {
+		sc.Cluster.NodesPerRack = sp.NodesPerRack
+	}
+	if sp.DiskSpec != "" {
+		sc.Cluster.DiskSpec = sp.DiskSpec
+	}
+	if sp.DisksPerNode > 0 {
+		sc.Cluster.DisksPerNode = sp.DisksPerNode
+	}
+	if sp.NICSpec != "" {
+		sc.Cluster.NICSpec = sp.NICSpec
+	}
+	if sp.CPUSpec != "" {
+		sc.Cluster.CPUSpec = sp.CPUSpec
+	}
+	if sp.MemSpec != "" {
+		sc.Cluster.MemSpec = sp.MemSpec
+	}
+	if sp.SwitchSpec != "" {
+		sc.Cluster.SwitchSpec = sp.SwitchSpec
+	}
+	if sp.NodeMTTFHours > 0 {
+		d, err := dist.NewWeibull(0.7, sp.NodeMTTFHours/weibullMeanFactor(0.7))
+		if err != nil {
+			return sc, err
+		}
+		sc.Cluster.NodeTTF = d
+	}
+	if sp.NodeRepairHours > 0 {
+		d, err := dist.LogNormalFromMoments(sp.NodeRepairHours, 1.2)
+		if err != nil {
+			return sc, err
+		}
+		sc.Cluster.NodeRepair = d
+	}
+	if sp.Users > 0 {
+		sc.Users = sp.Users
+	}
+	if sp.ObjectMB > 0 {
+		sc.ObjectSizeMB = sp.ObjectMB
+	}
+	switch {
+	case sp.RSK > 0:
+		sc.Scheme = storage.RSScheme(sp.RSK, sp.RSM)
+	case sp.Replication > 0:
+		sc.Scheme = storage.ReplicationScheme(sp.Replication)
+	}
+	if sp.Placement != "" {
+		sc.Placement = sp.Placement
+	}
+	switch sp.RepairMode {
+	case "":
+	case "serial":
+		sc.Repair.Mode = repair.Serial
+	case "parallel":
+		sc.Repair.Mode = repair.Parallel
+	default:
+		return sc, fmt.Errorf("unknown repair_mode %q", sp.RepairMode)
+	}
+	if sp.RepairConcurrency > 0 {
+		sc.Repair.MaxConcurrent = sp.RepairConcurrency
+	}
+	if sp.DetectionHours > 0 {
+		d, err := dist.NewDeterministic(sp.DetectionHours)
+		if err != nil {
+			return sc, err
+		}
+		sc.Repair.Detection = d
+	}
+	if sp.HorizonHours > 0 {
+		sc.HorizonHours = sp.HorizonHours
+	}
+	if sp.Seed != 0 {
+		sc.Seed = sp.Seed
+	}
+	return sc, nil
+}
+
+// weibullMeanFactor returns Gamma(1 + 1/shape) so that
+// scale = mean / factor gives a Weibull with the requested mean.
+func weibullMeanFactor(shape float64) float64 {
+	// Gamma(1+1/0.7) = Gamma(2.428...) computed via the dist package's
+	// Weibull mean with unit scale.
+	w, err := dist.NewWeibull(shape, 1)
+	if err != nil {
+		panic(err)
+	}
+	return w.Mean()
+}
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (default: built-in scenario)")
+	trials := flag.Int("trials", 10, "independent simulation trials")
+	minAvail := flag.Float64("min-availability", 0, "availability SLA to check (0 = none)")
+	maxLoss := flag.Float64("max-loss", -1, "durability SLA: max loss probability (-1 = none)")
+	flag.Parse()
+
+	spec := scenarioSpec{}
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *scenarioPath, err))
+		}
+	}
+	sc, err := spec.apply()
+	if err != nil {
+		fatal(err)
+	}
+
+	var slas []windtunnel.SLA
+	if *minAvail > 0 {
+		s, err := sla.NewAvailability(*minAvail)
+		if err != nil {
+			fatal(err)
+		}
+		slas = append(slas, s)
+	}
+	if *maxLoss >= 0 {
+		s, err := sla.NewDurability(*maxLoss)
+		if err != nil {
+			fatal(err)
+		}
+		slas = append(slas, s)
+	}
+
+	res, err := windtunnel.Runner{Trials: *trials, SLAs: slas}.Run(sc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scenario %q: %d nodes (%d racks x %d), %s, %d users x %.0f MB, placement=%s\n",
+		sc.Name, sc.Cluster.Racks*sc.Cluster.NodesPerRack, sc.Cluster.Racks,
+		sc.Cluster.NodesPerRack, sc.Scheme, sc.Users, sc.ObjectSizeMB, sc.Placement)
+	fmt.Printf("horizon %.0f h, %d trials\n\n", sc.HorizonHours, res.Trials)
+
+	names := make([]string, 0, len(res.Metrics))
+	for k := range res.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		line := fmt.Sprintf("  %-22s %.6g", k, res.Metrics[k])
+		if ci, ok := res.CI[k]; ok {
+			line += fmt.Sprintf("  (95%% CI +-%.3g)", ci)
+		}
+		fmt.Println(line)
+	}
+
+	book := cost.DefaultPriceBook()
+	breakdown, err := cost.Estimate(hardware.DefaultCatalog(), sc.Cluster, book, sc.HorizonHours)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ncost: %v\n", breakdown)
+	if perUser, err := cost.PerUserMonthlyUSD(breakdown, sc.Users); err == nil {
+		fmt.Printf("      $%.2f per user per month\n", perUser)
+	}
+
+	if len(res.Verdicts) > 0 {
+		fmt.Println("\nSLA verdicts:")
+		for _, v := range res.Verdicts {
+			fmt.Printf("  %v\n", v)
+		}
+		if !res.AllMet {
+			os.Exit(2)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "windtunnel:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/repair"
+)
+
+func TestScenarioSpecDefaults(t *testing.T) {
+	sc, err := scenarioSpec{}.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("default overlay invalid: %v", err)
+	}
+}
+
+func TestScenarioSpecOverlay(t *testing.T) {
+	raw := `{
+	  "racks": 2, "nodes_per_rack": 4,
+	  "disk_spec": "ssd-sata", "disks_per_node": 2,
+	  "nic_spec": "nic-40g",
+	  "node_mttf_hours": 5000, "node_repair_hours": 8,
+	  "users": 250, "object_mb": 64,
+	  "rs_k": 6, "rs_m": 3,
+	  "placement": "rackaware",
+	  "repair_mode": "serial",
+	  "detection_hours": 2,
+	  "horizon_hours": 4000, "seed": 9
+	}`
+	var spec scenarioSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cluster.Racks != 2 || sc.Cluster.NodesPerRack != 4 {
+		t.Errorf("cluster shape %dx%d", sc.Cluster.Racks, sc.Cluster.NodesPerRack)
+	}
+	if sc.Cluster.DiskSpec != "ssd-sata" || sc.Cluster.NICSpec != "nic-40g" {
+		t.Errorf("specs not applied: %s/%s", sc.Cluster.DiskSpec, sc.Cluster.NICSpec)
+	}
+	if sc.Scheme.String() != "rs-6-3" {
+		t.Errorf("scheme = %v, want rs-6-3", sc.Scheme)
+	}
+	if sc.Placement != "rackaware" {
+		t.Errorf("placement = %s", sc.Placement)
+	}
+	if sc.Repair.Mode != repair.Serial {
+		t.Errorf("repair mode = %v", sc.Repair.Mode)
+	}
+	if sc.Repair.Detection == nil {
+		t.Error("detection not applied")
+	}
+	if sc.HorizonHours != 4000 || sc.Seed != 9 {
+		t.Errorf("horizon/seed = %v/%v", sc.HorizonHours, sc.Seed)
+	}
+	// The MTTF overlay must preserve the requested mean.
+	mean := sc.Cluster.NodeTTF.Mean()
+	if mean < 4999 || mean > 5001 {
+		t.Errorf("node TTF mean = %v, want 5000", mean)
+	}
+}
+
+func TestScenarioSpecRejectsBadRepairMode(t *testing.T) {
+	if _, err := (scenarioSpec{RepairMode: "psychic"}).apply(); err == nil {
+		t.Error("unknown repair mode accepted")
+	}
+}
+
+func TestScenarioSpecReplicationOverlay(t *testing.T) {
+	sc, err := scenarioSpec{Replication: 5}.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scheme.String() != "rep-5" {
+		t.Errorf("scheme = %v, want rep-5", sc.Scheme)
+	}
+}

@@ -1,0 +1,76 @@
+// Command wtql executes Wind Tunnel Query Language statements — the
+// declarative what-if interface of §4.1 of the paper.
+//
+// Usage:
+//
+//	wtql -q "SIMULATE availability VARY storage.replication IN (3,5) ..."
+//	wtql -f query.wtql
+//	echo "SIMULATE ..." | wtql
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"repro/internal/results"
+	"repro/internal/wtql"
+)
+
+func main() {
+	query := flag.String("q", "", "query text")
+	file := flag.String("f", "", "file containing the query")
+	trials := flag.Int("trials", 5, "default trials per configuration")
+	workers := flag.Int("workers", 0, "point-level parallelism (0 = GOMAXPROCS)")
+	storePath := flag.String("store", "", "JSON result archive to append executed configurations to (§4.4)")
+	flag.Parse()
+
+	text := *query
+	if text == "" && *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(data)
+	}
+	if text == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(data)
+	}
+	if text == "" {
+		fatal(fmt.Errorf("no query given: use -q, -f or stdin"))
+	}
+
+	engine := &wtql.Engine{Trials: *trials, Workers: *workers}
+	if *storePath != "" {
+		store, err := results.Load(*storePath)
+		if errors.Is(err, fs.ErrNotExist) {
+			store = results.NewStore()
+		} else if err != nil {
+			fatal(err)
+		}
+		engine.Store = store
+	}
+	rs, err := engine.Execute(text)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rs.Render())
+	if engine.Store != nil {
+		if err := engine.Store.Save(*storePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "archived %d total runs in %s\n", engine.Store.Len(), *storePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wtql:", err)
+	os.Exit(1)
+}

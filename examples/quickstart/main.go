@@ -1,0 +1,41 @@
+// Quickstart: run one availability what-if through the wind tunnel and
+// check an SLA — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	windtunnel "repro"
+)
+
+func main() {
+	// Start from the baseline design: 30 HDD/10GbE nodes in 3 racks,
+	// 1000 tenants, 3-way replication, parallel repair, one year.
+	sc := windtunnel.DefaultScenario()
+	sc.Users = 500 // keep the quickstart fast
+
+	res, err := windtunnel.Run(sc, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d trials of %q over %.0f hours\n",
+		res.Trials, sc.Name, sc.HorizonHours)
+	fmt.Printf("  availability:        %.6f (95%% CI +-%.2g)\n",
+		res.Metrics["availability"], res.CI["availability"])
+	fmt.Printf("  data loss prob:      %.2g\n", res.Metrics["loss_prob"])
+	fmt.Printf("  node failures/trial: %.1f\n", res.Metrics["node_failures"])
+	fmt.Printf("  repairs/trial:       %.1f\n", res.Metrics["repairs"])
+
+	// Would this design meet a three-nines availability SLA?
+	slaCheck, err := windtunnel.AvailabilitySLA(0.999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, err := slaCheck.Check(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSLA: %v\n", verdict)
+}

@@ -1,0 +1,71 @@
+// Repair trade-off: the paper's §1 motivating example, end to end — can
+// n-1 replicas with a faster network and parallel repair provide the
+// availability of n replicas with slow serial repair, at lower storage
+// cost? "Unavailable" here is §1's strict criterion: zero up-to-date
+// copies of the data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	windtunnel "repro"
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/hardware"
+	"repro/internal/repair"
+	"repro/internal/storage"
+)
+
+func main() {
+	type option struct {
+		label    string
+		replicas int
+		nic      string
+		mode     repair.Mode
+		conc     int
+	}
+	options := []option{
+		{"n=3, 1GbE, serial repair", 3, "nic-1g", repair.Serial, 1},
+		{"n=2, 1GbE, serial repair", 2, "nic-1g", repair.Serial, 1},
+		{"n=2, 10GbE, parallel repair", 2, "nic-10g", repair.Parallel, 16},
+	}
+
+	fmt.Printf("%-30s %16s %14s %10s %10s\n",
+		"design", "zero-copy frac", "repair max h", "storage x", "capex $")
+	for _, o := range options {
+		sc := windtunnel.DefaultScenario()
+		sc.Cluster.Racks = 2
+		sc.Cluster.NodesPerRack = 10
+		sc.Cluster.NICSpec = o.nic
+		sc.Cluster.NodeTTF = dist.Must(dist.NewWeibull(0.7, 475)) // mean ~600 h
+		sc.Cluster.NodeRepair = dist.Must(dist.LogNormalFromMoments(12, 1.2))
+		sc.Users = 2000
+		sc.ObjectSizeMB = 1024
+		sc.Scheme = storage.ReplicationScheme(o.replicas)
+		sc.Repair = repair.Config{
+			Mode: o.mode, MaxConcurrent: o.conc,
+			Detection: dist.Must(dist.NewDeterministic(0.1)),
+		}
+		sc.HorizonHours = hardware.HoursPerYear
+		sc.Seed = 42
+
+		res, err := windtunnel.Run(sc, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		breakdown, err := cost.Estimate(hardware.DefaultCatalog(), sc.Cluster,
+			cost.DefaultPriceBook(), sc.HorizonHours)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s %16.3g %14.3g %10.1f %10.0f\n", o.label,
+			res.Metrics["zero_copy_fraction"], res.Metrics["repair_makespan"],
+			sc.Scheme.Overhead(), breakdown.CapexUSD)
+	}
+	fmt.Println("\nDropping to n=2 with the same slow repair raises the zero-copy exposure;")
+	fmt.Println("adding the faster network and parallel repair wins it back (repair window")
+	fmt.Println("~10x shorter) while storing a third less data. Zero-copy windows are rare")
+	fmt.Println("events: raise the trial count for tighter estimates. This is the §1")
+	fmt.Println("interaction an iterative software-then-hardware design process misses.")
+}

@@ -1,0 +1,238 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Exact combinatorics for the Figure-1 question: the probability that at
+// least one of U customers loses its majority quorum when exactly f of N
+// nodes have failed, under Random or RoundRobin replica placement with
+// replication factor n. These closed forms validate the Monte-Carlo wind
+// tunnel (§4.3) and regenerate Figure 1 analytically.
+
+// BinomialCoeff returns C(n, k) as a float64 (exact for values below 2^53,
+// which covers every cluster size in the paper).
+func BinomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// HypergeomTail returns P(K >= kMin) where K ~ Hypergeometric(N, f, n):
+// the number of failed nodes among a uniformly random n-subset of N nodes
+// of which f are failed.
+func HypergeomTail(N, f, n, kMin int) float64 {
+	if kMin <= 0 {
+		return 1
+	}
+	denom := BinomialCoeff(N, n)
+	if denom == 0 {
+		return 0
+	}
+	p := 0.0
+	hi := n
+	if f < hi {
+		hi = f
+	}
+	for k := kMin; k <= hi; k++ {
+		p += BinomialCoeff(f, k) * BinomialCoeff(N-f, n-k)
+	}
+	return p / denom
+}
+
+// RandomPlacementUserUnavailable returns the probability that one specific
+// user, whose n replicas sit on a uniformly random n-subset of the N
+// nodes, has lost its majority quorum given exactly f failed nodes.
+func RandomPlacementUserUnavailable(N, n, f int) (float64, error) {
+	if err := checkPlacementArgs(N, n, f); err != nil {
+		return 0, err
+	}
+	return HypergeomTail(N, f, n, MajorityQuorumDown(n)), nil
+}
+
+// RandomPlacementUnavailability returns the probability that at least one
+// of users customers is unavailable given exactly f failed nodes, under
+// independent Random placement per user. Conditional on the failure set,
+// user placements are i.i.d., so the complement is (1-p)^users; by node
+// symmetry the answer does not depend on which f nodes failed.
+func RandomPlacementUnavailability(N, n, f, users int) (float64, error) {
+	if users < 0 {
+		return 0, fmt.Errorf("analytic: users must be >= 0, got %d", users)
+	}
+	p, err := RandomPlacementUserUnavailable(N, n, f)
+	if err != nil {
+		return 0, err
+	}
+	// 1 - (1-p)^users, computed stably for small p.
+	return -math.Expm1(float64(users) * math.Log1p(-p)), nil
+}
+
+// RoundRobinUnavailability returns the probability that at least one
+// customer is unavailable given exactly f failed nodes (uniformly random
+// failure set), under RoundRobin placement: user u's replicas occupy nodes
+// u, u+1, ..., u+n-1 (mod N). It assumes users >= N so every cyclic window
+// of n consecutive nodes hosts at least one user (10,000 users versus
+// N <= 30 in the paper's Figure 1).
+//
+// The probability equals 1 - S/C(N,f) where S counts f-subsets of Z_N in
+// which no cyclic window of length n contains a majority (floor(n/2)+1) of
+// failures. S is computed exactly by a transfer-matrix dynamic program
+// over circular binary strings.
+func RoundRobinUnavailability(N, n, f, users int) (float64, error) {
+	if err := checkPlacementArgs(N, n, f); err != nil {
+		return 0, err
+	}
+	if users < N {
+		return 0, fmt.Errorf("analytic: RoundRobin closed form requires users >= N (got %d < %d)", users, N)
+	}
+	q := MajorityQuorumDown(n)
+	safe := countSafeCircular(N, n, f, q-1)
+	total := BinomialCoeff(N, f)
+	p := 1 - safe/total
+	// Clamp tiny negative round-off.
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// countSafeCircular counts binary necklaces-with-position (circular
+// strings) of length N with exactly f ones in which every window of n
+// consecutive positions (cyclically) has at most maxOnes ones.
+func countSafeCircular(N, n, f, maxOnes int) float64 {
+	if f == 0 {
+		return 1
+	}
+	if maxOnes >= n {
+		return BinomialCoeff(N, f)
+	}
+	if maxOnes < 0 {
+		return 0
+	}
+	w := n - 1 // state width: last n-1 bits
+	stateCount := 1 << w
+	total := 0.0
+	// Enumerate the first w bits (the seed); the DP then fills positions
+	// w..N-1. Windows fully inside the seed do not exist (window length
+	// n = w+1 > w), and wrap-around windows are checked at the end from
+	// (final state, seed).
+	for seed := 0; seed < stateCount; seed++ {
+		seedOnes := bits.OnesCount(uint(seed))
+		if seedOnes > f {
+			continue
+		}
+		// dp[state][ones] = count of ways to fill positions so far.
+		dp := make([][]float64, stateCount)
+		for s := range dp {
+			dp[s] = make([]float64, f+1)
+		}
+		dp[seed][seedOnes] = 1
+		for pos := w; pos < N; pos++ {
+			next := make([][]float64, stateCount)
+			for s := range next {
+				next[s] = make([]float64, f+1)
+			}
+			for s := 0; s < stateCount; s++ {
+				for ones := 0; ones <= f; ones++ {
+					v := dp[s][ones]
+					if v == 0 {
+						continue
+					}
+					for b := 0; b <= 1; b++ {
+						window := s<<1 | b // n bits
+						if bits.OnesCount(uint(window)) > maxOnes {
+							continue
+						}
+						no := ones + b
+						if no > f {
+							continue
+						}
+						ns := window & (stateCount - 1) // keep last w bits
+						next[ns][no] += v
+					}
+				}
+			}
+			dp = next
+		}
+		// Wrap-around windows: for s = N-n+1 .. N-1 the window is
+		// bits[s..N-1] ++ bits[0..s+n-1-N]. bits[N-w..N-1] is the final
+		// state; bits[0..w-1] is the seed.
+		for finalState := 0; finalState < stateCount; finalState++ {
+			count := dp[finalState][f]
+			if count == 0 {
+				continue
+			}
+			if circularWindowsOK(finalState, seed, w, n, maxOnes) {
+				total += count
+			}
+		}
+	}
+	return total
+}
+
+// circularWindowsOK checks the n-1 wrap-around windows formed by the last
+// w bits (finalState, most significant = position N-w) and the first w
+// bits (seed, most significant = position 0).
+func circularWindowsOK(finalState, seed, w, n, maxOnes int) bool {
+	// Reconstruct the 2w-bit sequence: final bits then seed bits.
+	// Window j (j = 1..w) takes the last j bits of finalState and the
+	// first n-j bits of seed.
+	for j := 1; j <= w; j++ {
+		lastJ := finalState & ((1 << j) - 1)
+		firstK := seed >> (w - (n - j)) // top n-j bits of the seed
+		onesCount := bits.OnesCount(uint(lastJ)) + bits.OnesCount(uint(firstK))
+		if onesCount > maxOnes {
+			return false
+		}
+	}
+	return true
+}
+
+func checkPlacementArgs(N, n, f int) error {
+	if N < 1 {
+		return fmt.Errorf("analytic: cluster size must be >= 1, got %d", N)
+	}
+	if n < 1 || n > N {
+		return fmt.Errorf("analytic: replication factor %d outside [1, %d]", n, N)
+	}
+	if f < 0 || f > N {
+		return fmt.Errorf("analytic: failed-node count %d outside [0, %d]", f, N)
+	}
+	return nil
+}
+
+// Figure1Point identifies one configuration/x-value of the paper's
+// Figure 1.
+type Figure1Point struct {
+	Placement string // "random" or "roundrobin"
+	N         int    // cluster size
+	Replicas  int    // replication factor
+	Failures  int    // x-axis: number of failed nodes
+	Users     int
+}
+
+// Figure1Exact returns the exact unavailability probability for a Figure-1
+// point.
+func Figure1Exact(pt Figure1Point) (float64, error) {
+	switch pt.Placement {
+	case "random":
+		return RandomPlacementUnavailability(pt.N, pt.Replicas, pt.Failures, pt.Users)
+	case "roundrobin":
+		return RoundRobinUnavailability(pt.N, pt.Replicas, pt.Failures, pt.Users)
+	default:
+		return 0, fmt.Errorf("analytic: unknown placement %q", pt.Placement)
+	}
+}

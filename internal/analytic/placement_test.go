@@ -1,0 +1,230 @@
+package analytic
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestBinomialCoeff(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{30, 15, 155117520}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := BinomialCoeff(c.n, c.k); math.Abs(got-c.want) > 1e-6*math.Max(1, c.want) {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestHypergeomTailEdges(t *testing.T) {
+	// kMin=0 is certain.
+	if got := HypergeomTail(10, 3, 3, 0); got != 1 {
+		t.Errorf("tail at 0 = %v, want 1", got)
+	}
+	// More failures than needed: f=N means all replicas failed.
+	if got := HypergeomTail(10, 10, 3, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tail with all failed = %v, want 1", got)
+	}
+	// Impossible: need more failed replicas than failures exist.
+	if got := HypergeomTail(10, 1, 3, 2); got != 0 {
+		t.Errorf("tail with f=1, kMin=2 = %v, want 0", got)
+	}
+}
+
+func TestRandomPlacementHandComputed(t *testing.T) {
+	// N=10, n=3, f=2, majority=2: p = C(2,2)*C(8,1)/C(10,3) = 8/120.
+	p, err := RandomPlacementUserUnavailable(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8.0 / 120; math.Abs(p-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+}
+
+func TestRandomPlacementMonotoneInFailures(t *testing.T) {
+	prev := -1.0
+	for f := 0; f <= 10; f++ {
+		p, err := RandomPlacementUnavailability(10, 3, f, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Errorf("unavailability not monotone at f=%d: %v < %v", f, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestRandomPlacementZeroAndFullFailures(t *testing.T) {
+	p, err := RandomPlacementUnavailability(10, 3, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("f=0 gives %v, want 0", p)
+	}
+	p, err = RandomPlacementUnavailability(10, 3, 10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-12 {
+		t.Errorf("f=N gives %v, want 1", p)
+	}
+}
+
+func TestRoundRobinHandComputed(t *testing.T) {
+	// N=10, n=3, f=2: unavailable iff the two failures are within cyclic
+	// distance <= 2: 20 of 45 pairs.
+	p, err := RoundRobinUnavailability(10, 3, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20.0 / 45; math.Abs(p-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+}
+
+// bruteForceRoundRobin enumerates all C(N,f) failure sets and checks the
+// cyclic-window condition directly.
+func bruteForceRoundRobin(N, n, f int) float64 {
+	q := MajorityQuorumDown(n)
+	unavailable := 0
+	total := 0
+	for mask := 0; mask < 1<<N; mask++ {
+		if bits.OnesCount(uint(mask)) != f {
+			continue
+		}
+		total++
+		bad := false
+		for s := 0; s < N && !bad; s++ {
+			cnt := 0
+			for j := 0; j < n; j++ {
+				if mask>>((s+j)%N)&1 == 1 {
+					cnt++
+				}
+			}
+			if cnt >= q {
+				bad = true
+			}
+		}
+		if bad {
+			unavailable++
+		}
+	}
+	return float64(unavailable) / float64(total)
+}
+
+func TestRoundRobinMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct{ N, n int }{
+		{8, 3}, {10, 3}, {10, 5}, {12, 5}, {9, 4}, {7, 2},
+	} {
+		for f := 0; f <= tc.N; f++ {
+			want := bruteForceRoundRobin(tc.N, tc.n, f)
+			got, err := RoundRobinUnavailability(tc.N, tc.n, f, 10000)
+			if err != nil {
+				t.Fatalf("N=%d n=%d f=%d: %v", tc.N, tc.n, f, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("N=%d n=%d f=%d: DP=%v bruteforce=%v", tc.N, tc.n, f, got, want)
+			}
+		}
+	}
+}
+
+func TestRoundRobinBelowRandomForSmallFailures(t *testing.T) {
+	// The paper's Figure-1 shape: with many users, RoundRobin exposes only
+	// N distinct replica sets while Random exposes nearly all C(N,n), so
+	// RR unavailability is lower at small failure counts.
+	for _, f := range []int{2, 3} {
+		rr, err := RoundRobinUnavailability(10, 3, f, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := RandomPlacementUnavailability(10, 3, f, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr >= rd {
+			t.Errorf("f=%d: RR %v should be below Random %v with 10k users", f, rr, rd)
+		}
+	}
+}
+
+func TestHigherReplicationLowersUnavailability(t *testing.T) {
+	for f := 1; f <= 5; f++ {
+		p3, err := RandomPlacementUnavailability(30, 3, f, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p5, err := RandomPlacementUnavailability(30, 5, f, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p5 > p3+1e-12 {
+			t.Errorf("f=%d: n=5 unavailability %v exceeds n=3's %v", f, p5, p3)
+		}
+	}
+}
+
+func TestLargerClusterShiftsCurveRight(t *testing.T) {
+	// At the same absolute failure count, a larger cluster has lower
+	// per-user loss probability under Random placement.
+	for f := 2; f <= 6; f++ {
+		p10, err := RandomPlacementUserUnavailable(10, 3, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p30, err := RandomPlacementUserUnavailable(30, 3, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p30 >= p10 {
+			t.Errorf("f=%d: per-user p N=30 (%v) should be below N=10 (%v)", f, p30, p10)
+		}
+	}
+}
+
+func TestFigure1ExactDispatch(t *testing.T) {
+	if _, err := Figure1Exact(Figure1Point{Placement: "bogus", N: 10, Replicas: 3, Failures: 1, Users: 100}); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	p, err := Figure1Exact(Figure1Point{Placement: "random", N: 10, Replicas: 3, Failures: 2, Users: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("Figure1Exact = %v outside (0,1]", p)
+	}
+}
+
+func TestPlacementArgValidation(t *testing.T) {
+	if _, err := RandomPlacementUnavailability(10, 11, 1, 10); err == nil {
+		t.Error("n > N accepted")
+	}
+	if _, err := RandomPlacementUnavailability(10, 3, 11, 10); err == nil {
+		t.Error("f > N accepted")
+	}
+	if _, err := RoundRobinUnavailability(10, 3, 1, 5); err == nil {
+		t.Error("users < N accepted for RR closed form")
+	}
+	if _, err := RandomPlacementUnavailability(10, 3, 1, -1); err == nil {
+		t.Error("negative users accepted")
+	}
+}
+
+func TestCountSafeCircularFullWindows(t *testing.T) {
+	// maxOnes >= n means no constraint.
+	if got, want := countSafeCircular(10, 3, 4, 3), BinomialCoeff(10, 4); got != want {
+		t.Errorf("unconstrained count = %v, want %v", got, want)
+	}
+	// f=0 is always safe.
+	if got := countSafeCircular(10, 3, 0, 1); got != 1 {
+		t.Errorf("f=0 count = %v, want 1", got)
+	}
+}

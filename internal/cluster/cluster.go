@@ -1,0 +1,408 @@
+// Package cluster assembles simulated data centers: racks of nodes built
+// from cataloged hardware components, wired into a network topology, with
+// failure processes injected into the discrete-event simulator.
+//
+// It is the "hardware half" of the integrated co-design the paper argues
+// for (§1): the same Config that fixes disk/NIC/switch choices also
+// determines failure behaviour (per-component lifecycles), correlated
+// failures (a ToR switch failure makes a whole rack unreachable — the
+// scale effect §2.1 says small prototypes cannot reproduce), and the
+// network capacities that bound the repair process.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hardware"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes one data center design point. Time unit: hours (all
+// TTFs/repairs in the catalog are hours; network capacities are converted
+// from MB/s internally).
+type Config struct {
+	Racks        int
+	NodesPerRack int
+
+	// Per-node hardware, by catalog spec name.
+	DiskSpec     string
+	DisksPerNode int
+	NICSpec      string
+	CPUSpec      string
+	MemSpec      string
+
+	// Network.
+	SwitchSpec  string  // ToR/core switch spec
+	UplinkMBps  float64 // ToR->core uplink capacity; 0 = 10x host link
+	LinkLatency float64 // hours (propagation; usually ~0)
+
+	// Failure injection. Whole-node failure model (OS crash, PSU, etc.):
+	// if NodeTTF is nil, nodes only fail through their components.
+	NodeTTF    dist.Dist
+	NodeRepair dist.Dist
+
+	ComponentFailures bool // drive per-component lifecycles
+	SwitchFailures    bool // drive ToR switch lifecycles (rack blasts)
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.Racks < 1 || c.NodesPerRack < 1 {
+		return fmt.Errorf("cluster: need >= 1 rack and node per rack, got %dx%d", c.Racks, c.NodesPerRack)
+	}
+	if c.DisksPerNode < 1 {
+		return fmt.Errorf("cluster: need >= 1 disk per node, got %d", c.DisksPerNode)
+	}
+	if (c.NodeTTF == nil) != (c.NodeRepair == nil) {
+		return fmt.Errorf("cluster: NodeTTF and NodeRepair must both be set or both nil")
+	}
+	return nil
+}
+
+// SecondsPerHour converts MB/s capacities into MB/hour for the flow
+// simulator, keeping the whole availability simulation in hour units.
+const SecondsPerHour = 3600.0
+
+// Node is one simulated machine.
+type Node struct {
+	ID   int
+	Rack int
+	Host netsim.NodeID
+
+	Disks []*hardware.Component
+	NIC   *hardware.Component
+	CPU   *hardware.Component
+	Mem   *hardware.Component
+
+	up       bool
+	upSignal stats.TimeWeighted
+	accessLk *netsim.Link
+}
+
+// Up reports whether the node itself is up (independent of rack
+// reachability).
+func (n *Node) Up() bool { return n.up }
+
+// Cluster is a fully wired simulated data center.
+type Cluster struct {
+	cfg  Config
+	sim  *sim.Simulator
+	cat  *hardware.Catalog
+	Topo *netsim.Topology
+	Flow *netsim.FlowSim
+
+	nodes    []*Node
+	torIDs   []netsim.NodeID
+	torSws   []*hardware.Component // indexed by rack; nil without SwitchFailures
+	torUp    []bool
+	uplinks  []*netsim.Link
+	onDown   []func(*Node)
+	onUp     []func(*Node)
+	onDisk   []func(*Node, int) // node, disk index
+	onDiskOK []func(*Node, int)
+
+	nodeFailures int64
+	rackFailures int64
+}
+
+// Build constructs the cluster, its topology and flow simulator. Failure
+// processes are not started until StartFailures is called, so static
+// analyses (Figure 1) can drive failures manually.
+func Build(s *sim.Simulator, cat *hardware.Catalog, cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nicSpec, err := cat.Get(cfg.NICSpec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: NIC: %w", err)
+	}
+	diskSpec, err := cat.Get(cfg.DiskSpec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: disk: %w", err)
+	}
+	cpuSpec, err := cat.Get(cfg.CPUSpec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: CPU: %w", err)
+	}
+	memSpec, err := cat.Get(cfg.MemSpec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: memory: %w", err)
+	}
+	if _, err := cat.Get(cfg.SwitchSpec); err != nil {
+		return nil, fmt.Errorf("cluster: switch: %w", err)
+	}
+
+	hostCap := nicSpec.ThroughputMBps * SecondsPerHour
+	uplink := cfg.UplinkMBps * SecondsPerHour
+	if uplink <= 0 {
+		uplink = 10 * hostCap
+	}
+	topo, hosts, tors, err := netsim.TwoTier(netsim.TwoTierConfig{
+		Racks: cfg.Racks, HostsPerRack: cfg.NodesPerRack,
+		HostLinkCap: hostCap, UplinkCap: uplink, LinkLatency: cfg.LinkLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg: cfg, sim: s, cat: cat, Topo: topo,
+		Flow:   netsim.NewFlowSim(s, topo),
+		torIDs: tors,
+		torUp:  make([]bool, cfg.Racks),
+		torSws: make([]*hardware.Component, cfg.Racks),
+	}
+	for r := range c.torUp {
+		c.torUp[r] = true
+	}
+	// Identify each host's access link and each rack's uplink.
+	linkOf := func(a, b netsim.NodeID) *netsim.Link {
+		for _, l := range topo.Links() {
+			if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+				return l
+			}
+		}
+		return nil
+	}
+	core := netsim.NodeID(0) // TwoTier adds the core switch first
+	for r := 0; r < cfg.Racks; r++ {
+		c.uplinks = append(c.uplinks, linkOf(tors[r], core))
+	}
+
+	id := 0
+	for r := 0; r < cfg.Racks; r++ {
+		for h := 0; h < cfg.NodesPerRack; h++ {
+			n := &Node{ID: id, Rack: r, Host: hosts[id], up: true}
+			n.accessLk = linkOf(n.Host, tors[r])
+			var cerr error
+			mk := func(cid int, spec hardware.Spec) *hardware.Component {
+				comp, e := hardware.NewComponent(cid, spec)
+				if e != nil && cerr == nil {
+					cerr = e
+				}
+				return comp
+			}
+			for d := 0; d < cfg.DisksPerNode; d++ {
+				n.Disks = append(n.Disks, mk(id*100+d, diskSpec))
+			}
+			n.NIC = mk(id*100+90, nicSpec)
+			n.CPU = mk(id*100+91, cpuSpec)
+			n.Mem = mk(id*100+92, memSpec)
+			if cerr != nil {
+				return nil, cerr
+			}
+			n.upSignal.Set(s.Now(), 1)
+			c.nodes = append(c.nodes, n)
+			id++
+		}
+	}
+	return c, nil
+}
+
+// Nodes returns all nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Config returns the build configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Sim returns the driving simulator.
+func (c *Cluster) Sim() *sim.Simulator { return c.sim }
+
+// OnNodeDown registers fn for node-down transitions.
+func (c *Cluster) OnNodeDown(fn func(*Node)) { c.onDown = append(c.onDown, fn) }
+
+// OnNodeUp registers fn for node-up transitions.
+func (c *Cluster) OnNodeUp(fn func(*Node)) { c.onUp = append(c.onUp, fn) }
+
+// OnDiskFail registers fn for individual disk failures (node, disk index).
+func (c *Cluster) OnDiskFail(fn func(*Node, int)) { c.onDisk = append(c.onDisk, fn) }
+
+// OnDiskRepair registers fn for disk repair completions.
+func (c *Cluster) OnDiskRepair(fn func(*Node, int)) { c.onDiskOK = append(c.onDiskOK, fn) }
+
+// NodeFailures returns the count of node-down transitions so far.
+func (c *Cluster) NodeFailures() int64 { return c.nodeFailures }
+
+// RackFailures returns the count of ToR-switch failures so far.
+func (c *Cluster) RackFailures() int64 { return c.rackFailures }
+
+// Available reports whether node id is up and reachable (its rack's ToR
+// switch is operational).
+func (c *Cluster) Available(id int) bool {
+	n := c.nodes[id]
+	return n.up && c.torUp[n.Rack]
+}
+
+// AvailableCount returns the number of available nodes.
+func (c *Cluster) AvailableCount() int {
+	count := 0
+	for _, n := range c.nodes {
+		if c.Available(n.ID) {
+			count++
+		}
+	}
+	return count
+}
+
+// FailNode forces node id down (manual failure injection).
+func (c *Cluster) FailNode(id int) {
+	n := c.nodes[id]
+	if !n.up {
+		return
+	}
+	n.up = false
+	n.upSignal.Set(c.sim.Now(), 0)
+	c.nodeFailures++
+	if n.accessLk != nil {
+		c.Topo.SetLinkUp(n.accessLk, false)
+		c.Flow.OnLinkChange()
+	}
+	for _, fn := range c.onDown {
+		fn(n)
+	}
+}
+
+// RestoreNode brings node id back up.
+func (c *Cluster) RestoreNode(id int) {
+	n := c.nodes[id]
+	if n.up {
+		return
+	}
+	n.up = true
+	n.upSignal.Set(c.sim.Now(), 1)
+	if n.accessLk != nil {
+		c.Topo.SetLinkUp(n.accessLk, true)
+		c.Flow.OnLinkChange()
+	}
+	for _, fn := range c.onUp {
+		fn(n)
+	}
+}
+
+// FailRack forces rack r's ToR switch down, making all its nodes
+// unreachable (correlated failure).
+func (c *Cluster) FailRack(r int) {
+	if !c.torUp[r] {
+		return
+	}
+	c.torUp[r] = false
+	c.rackFailures++
+	c.Topo.SetLinkUp(c.uplinks[r], false)
+	c.Flow.OnLinkChange()
+	for _, n := range c.nodes {
+		if n.Rack == r {
+			for _, fn := range c.onDown {
+				fn(n)
+			}
+		}
+	}
+}
+
+// RestoreRack brings rack r's ToR switch back.
+func (c *Cluster) RestoreRack(r int) {
+	if c.torUp[r] {
+		return
+	}
+	c.torUp[r] = true
+	c.Topo.SetLinkUp(c.uplinks[r], true)
+	c.Flow.OnLinkChange()
+	for _, n := range c.nodes {
+		if n.Rack == r {
+			for _, fn := range c.onUp {
+				fn(n)
+			}
+		}
+	}
+}
+
+// StartFailures wires all configured failure processes into the
+// simulator: whole-node lifecycles (NodeTTF/NodeRepair), per-component
+// lifecycles (disks and NICs), and ToR switch lifecycles.
+func (c *Cluster) StartFailures() {
+	for _, n := range c.nodes {
+		n := n
+		if c.cfg.NodeTTF != nil {
+			stream := c.sim.Stream(fmt.Sprintf("node-%d", n.ID))
+			c.scheduleNodeLifecycle(n, stream)
+		}
+		if c.cfg.ComponentFailures {
+			for d, disk := range n.Disks {
+				d := d
+				disk.OnFail(func(*hardware.Component) {
+					for _, fn := range c.onDisk {
+						fn(n, d)
+					}
+				})
+				disk.OnRepair(func(*hardware.Component) {
+					for _, fn := range c.onDiskOK {
+						fn(n, d)
+					}
+				})
+				disk.StartLifecycle(c.sim, c.sim.Stream(fmt.Sprintf("disk-%d-%d", n.ID, d)))
+			}
+			// NIC failure severs connectivity: treat as node-down for
+			// serving purposes.
+			n.NIC.OnFail(func(*hardware.Component) { c.FailNode(n.ID) })
+			n.NIC.OnRepair(func(*hardware.Component) { c.RestoreNode(n.ID) })
+			n.NIC.StartLifecycle(c.sim, c.sim.Stream(fmt.Sprintf("nic-%d", n.ID)))
+		}
+	}
+	if c.cfg.SwitchFailures {
+		swSpec, err := c.cat.Get(c.cfg.SwitchSpec)
+		if err != nil {
+			panic(err) // validated in Build
+		}
+		for r := 0; r < c.cfg.Racks; r++ {
+			r := r
+			sw, err := hardware.NewComponent(1000000+r, swSpec)
+			if err != nil {
+				panic(err)
+			}
+			c.torSws[r] = sw
+			sw.OnFail(func(*hardware.Component) { c.FailRack(r) })
+			sw.OnRepair(func(*hardware.Component) { c.RestoreRack(r) })
+			sw.StartLifecycle(c.sim, c.sim.Stream(fmt.Sprintf("tor-%d", r)))
+		}
+	}
+}
+
+// scheduleNodeLifecycle drives the whole-node fail/repair cycle.
+func (c *Cluster) scheduleNodeLifecycle(n *Node, stream *rng.Source) {
+	ttf := c.cfg.NodeTTF.Sample(stream)
+	c.sim.Schedule(ttf, fmt.Sprintf("node%d/fail", n.ID), func() {
+		c.FailNode(n.ID)
+		rep := c.cfg.NodeRepair.Sample(stream)
+		c.sim.Schedule(rep, fmt.Sprintf("node%d/repair", n.ID), func() {
+			c.RestoreNode(n.ID)
+			c.scheduleNodeLifecycle(n, stream)
+		})
+	})
+}
+
+// NodeUptime returns the time-averaged fraction of time node id was up,
+// evaluated at the current simulation time.
+func (c *Cluster) NodeUptime(id int) float64 {
+	n := c.nodes[id]
+	v := 0.0
+	if n.up {
+		v = 1
+	}
+	n.upSignal.Set(c.sim.Now(), v)
+	return n.upSignal.Average()
+}
+
+// DiskCapacityGB returns the total disk capacity of one node.
+func (c *Cluster) DiskCapacityGB() float64 {
+	if len(c.nodes) == 0 || len(c.nodes[0].Disks) == 0 {
+		return 0
+	}
+	n := c.nodes[0]
+	return float64(len(n.Disks)) * n.Disks[0].Spec.CapacityGB
+}

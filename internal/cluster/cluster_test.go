@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hardware"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Racks: 3, NodesPerRack: 4,
+		DiskSpec: "hdd-7200", DisksPerNode: 2,
+		NICSpec: "nic-10g", CPUSpec: "cpu-8c", MemSpec: "mem-16g",
+		SwitchSpec: "switch-48p-10g",
+	}
+}
+
+func build(t *testing.T, cfg Config) (*sim.Simulator, *Cluster) {
+	t.Helper()
+	s := sim.New(42)
+	c, err := Build(s, hardware.DefaultCatalog(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func TestBuildShape(t *testing.T) {
+	_, c := build(t, testConfig())
+	if c.Size() != 12 {
+		t.Fatalf("size = %d, want 12", c.Size())
+	}
+	for i, n := range c.Nodes() {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if n.Rack != i/4 {
+			t.Errorf("node %d in rack %d, want %d", i, n.Rack, i/4)
+		}
+		if len(n.Disks) != 2 {
+			t.Errorf("node %d has %d disks, want 2", i, len(n.Disks))
+		}
+		if !c.Available(i) {
+			t.Errorf("fresh node %d not available", i)
+		}
+	}
+	if c.DiskCapacityGB() != 4000 {
+		t.Errorf("per-node disk capacity %v, want 4000", c.DiskCapacityGB())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	s := sim.New(1)
+	cat := hardware.DefaultCatalog()
+	bad := testConfig()
+	bad.Racks = 0
+	if _, err := Build(s, cat, bad); err == nil {
+		t.Error("zero racks accepted")
+	}
+	bad = testConfig()
+	bad.DiskSpec = "nonexistent"
+	if _, err := Build(s, cat, bad); err == nil {
+		t.Error("unknown disk spec accepted")
+	}
+	bad = testConfig()
+	bad.NodeTTF = dist.Must(dist.ExpMean(100))
+	if _, err := Build(s, cat, bad); err == nil {
+		t.Error("NodeTTF without NodeRepair accepted")
+	}
+}
+
+func TestManualFailRestore(t *testing.T) {
+	s, c := build(t, testConfig())
+	downs, ups := 0, 0
+	c.OnNodeDown(func(*Node) { downs++ })
+	c.OnNodeUp(func(*Node) { ups++ })
+	c.FailNode(3)
+	if c.Available(3) {
+		t.Fatal("failed node still available")
+	}
+	if c.AvailableCount() != 11 {
+		t.Fatalf("available = %d, want 11", c.AvailableCount())
+	}
+	c.FailNode(3) // idempotent
+	if downs != 1 {
+		t.Fatalf("down callbacks = %d, want 1", downs)
+	}
+	c.RestoreNode(3)
+	if !c.Available(3) || ups != 1 {
+		t.Fatal("restore failed")
+	}
+	if c.NodeFailures() != 1 {
+		t.Fatalf("failures = %d, want 1", c.NodeFailures())
+	}
+	_ = s
+}
+
+func TestRackFailureCorrelated(t *testing.T) {
+	_, c := build(t, testConfig())
+	downs := 0
+	c.OnNodeDown(func(*Node) { downs++ })
+	c.FailRack(1)
+	// All 4 nodes of rack 1 become unavailable even though they are up.
+	for i := 4; i < 8; i++ {
+		if c.Available(i) {
+			t.Errorf("node %d available during rack failure", i)
+		}
+		if !c.Nodes()[i].Up() {
+			t.Errorf("node %d should still be 'up' (switch failed, not node)", i)
+		}
+	}
+	if downs != 4 {
+		t.Errorf("down callbacks = %d, want 4", downs)
+	}
+	if c.AvailableCount() != 8 {
+		t.Errorf("available = %d, want 8", c.AvailableCount())
+	}
+	c.RestoreRack(1)
+	if c.AvailableCount() != 12 {
+		t.Errorf("available after restore = %d, want 12", c.AvailableCount())
+	}
+}
+
+func TestNodeLifecycleUptime(t *testing.T) {
+	cfg := testConfig()
+	cfg.NodeTTF = dist.Must(dist.ExpMean(1000))
+	cfg.NodeRepair = dist.Must(dist.NewDeterministic(10)) // ~1% downtime
+	s, c := build(t, cfg)
+	c.StartFailures()
+	s.RunUntil(200000)
+	// Mean uptime across nodes should be near 1000/1010.
+	sum := 0.0
+	for i := 0; i < c.Size(); i++ {
+		sum += c.NodeUptime(i)
+	}
+	avg := sum / float64(c.Size())
+	want := 1000.0 / 1010
+	if math.Abs(avg-want) > 0.01 {
+		t.Errorf("mean uptime %v, want ~%v", avg, want)
+	}
+	if c.NodeFailures() < 1000 {
+		t.Errorf("only %d failures over 200k hours x 12 nodes", c.NodeFailures())
+	}
+}
+
+func TestDiskFailureCallbacks(t *testing.T) {
+	cfg := testConfig()
+	cfg.ComponentFailures = true
+	s, c := build(t, cfg)
+	fails, repairs := 0, 0
+	c.OnDiskFail(func(n *Node, d int) {
+		if d < 0 || d >= len(n.Disks) {
+			t.Errorf("bad disk index %d", d)
+		}
+		fails++
+	})
+	c.OnDiskRepair(func(*Node, int) { repairs++ })
+	c.StartFailures()
+	s.RunUntil(hardware.HoursPerYear * 20)
+	if fails == 0 {
+		t.Fatal("no disk failures in 20 simulated years of 24 disks")
+	}
+	if repairs == 0 || repairs > fails {
+		t.Fatalf("repairs = %d, fails = %d", repairs, fails)
+	}
+}
+
+func TestSwitchFailuresMakeRacksUnreachable(t *testing.T) {
+	cfg := testConfig()
+	cfg.SwitchFailures = true
+	s, c := build(t, cfg)
+	c.StartFailures()
+	s.RunUntil(hardware.HoursPerYear * 50)
+	if c.RackFailures() == 0 {
+		t.Fatal("no rack failures in 50 years x 3 switches at 2% AFR")
+	}
+}
+
+func TestFailedNodeAbortsFlows(t *testing.T) {
+	s, c := build(t, testConfig())
+	var failErr error
+	// Start a transfer into node 5, then kill node 5 mid-flight.
+	srcHost := c.Nodes()[0].Host
+	dstHost := c.Nodes()[5].Host
+	if _, err := c.Flow.Start(srcHost, dstHost, 1e9, nil,
+		func(_ *netsim.Flow, e error) { failErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(0.001, "kill", func() { c.FailNode(5) })
+	s.RunUntil(1)
+	if c.Flow.Aborted() != 1 {
+		t.Fatalf("aborted flows = %d, want 1", c.Flow.Aborted())
+	}
+	if failErr == nil {
+		t.Fatal("failed callback did not receive an error")
+	}
+}
+
+func TestNodeUptimeFullWindow(t *testing.T) {
+	s, c := build(t, testConfig())
+	s.Schedule(10, "fail", func() { c.FailNode(0) })
+	s.Schedule(20, "fix", func() { c.RestoreNode(0) })
+	s.Schedule(40, "end", func() {})
+	s.Run()
+	if got := c.NodeUptime(0); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("uptime = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package core is the wind tunnel itself — the paper's primary
+// contribution (§2.3): it composes the hardware substrate
+// (internal/cluster, internal/netsim), the software models
+// (internal/storage, internal/repair, internal/workload) and the SLA layer
+// into runnable what-if scenarios, executes them as replicated
+// discrete-event simulations with confidence-interval stopping and early
+// abort (§4.2), and sweeps configuration design spaces with dominance
+// pruning and parallel execution.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/hardware"
+	"repro/internal/repair"
+	"repro/internal/sla"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Scenario is one complete availability what-if experiment: a cluster
+// design, a tenant population with a redundancy scheme and placement
+// policy, a repair configuration, and a simulated horizon.
+type Scenario struct {
+	Name string
+
+	Cluster cluster.Config
+
+	// Tenant data.
+	Users        int
+	ObjectSizeMB float64
+	Scheme       storage.Scheme
+	Placement    string // placement policy name (storage.PolicyByName)
+
+	Repair repair.Config
+
+	HorizonHours float64
+	Seed         uint64
+}
+
+// Validate checks the scenario.
+func (sc Scenario) Validate() error {
+	if err := sc.Cluster.Validate(); err != nil {
+		return err
+	}
+	if sc.Users < 1 {
+		return fmt.Errorf("core: scenario needs >= 1 user, got %d", sc.Users)
+	}
+	if sc.ObjectSizeMB < 0 {
+		return fmt.Errorf("core: negative object size %v", sc.ObjectSizeMB)
+	}
+	if err := sc.Scheme.Validate(); err != nil {
+		return err
+	}
+	if _, err := storage.PolicyByName(sc.Placement); err != nil {
+		return err
+	}
+	if err := sc.Repair.Validate(); err != nil {
+		return err
+	}
+	if sc.HorizonHours <= 0 {
+		return fmt.Errorf("core: horizon must be positive, got %v", sc.HorizonHours)
+	}
+	return nil
+}
+
+// DefaultScenario returns a plausible baseline: 3 racks x 10 nodes of
+// HDD/10G hardware, 1000 users with 3-way replication, random placement,
+// parallel repair, one simulated year.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Name: "default",
+		Cluster: cluster.Config{
+			Racks: 3, NodesPerRack: 10,
+			DiskSpec: "hdd-7200", DisksPerNode: 4,
+			NICSpec: "nic-10g", CPUSpec: "cpu-8c", MemSpec: "mem-64g",
+			SwitchSpec: "switch-48p-10g",
+			NodeTTF:    dist.Must(dist.NewWeibull(0.7, 12000)),
+			NodeRepair: dist.Must(dist.LogNormalFromMoments(12, 1.2)),
+		},
+		Users:        1000,
+		ObjectSizeMB: 200,
+		Scheme:       storage.ReplicationScheme(3),
+		Placement:    "random",
+		Repair:       repair.Config{Mode: repair.Parallel, MaxConcurrent: 8},
+		HorizonHours: hardware.HoursPerYear,
+		Seed:         1,
+	}
+}
+
+// RunResult aggregates one or more simulation trials of a scenario. It
+// implements sla.Result.
+type RunResult struct {
+	Scenario string
+	Trials   int
+
+	// Metrics holds aggregate scalars:
+	//   availability        — mean fraction of time all objects reachable
+	//   unavail_fraction    — 1 - availability
+	//   zero_copy_fraction  — fraction of time >= 1 object had zero live
+	//                         copies (§1's unavailability notion)
+	//   mean_unavail_objects— time-averaged unavailable object count
+	//   loss_prob           — fraction of objects permanently lost
+	//   repairs             — mean completed repairs per trial
+	//   repair_bytes_mb     — mean repair traffic per trial
+	//   node_failures       — mean node failures per trial
+	//   events              — mean DES events per trial
+	Metrics map[string]float64
+
+	// CI holds 95% confidence half-widths for selected metrics.
+	CI map[string]float64
+
+	Latencies map[string]*stats.Sample
+
+	Verdicts []sla.Verdict
+	AllMet   bool
+
+	// TenantAvailability holds one availability value per tenant per
+	// trial (pooled), supporting §4.1 SLAs expressed as distributions.
+	TenantAvailability []float64
+
+	EventsTotal   uint64
+	AbortedTrials int
+}
+
+// TenantAvailabilitySLA returns an SLA of the distributional form §4.1
+// calls for: at least `fraction` of tenants must see availability >=
+// `threshold`. It evaluates against the TenantAvailability pool of a
+// RunResult.
+func TenantAvailabilitySLA(fraction, threshold float64) sla.SLA {
+	return sla.TenantDistribution{
+		Description: fmt.Sprintf("%.0f%% of tenants at availability >= %v", fraction*100, threshold),
+		Values: func(r sla.Result) ([]float64, error) {
+			rr, ok := r.(*RunResult)
+			if !ok {
+				return nil, fmt.Errorf("core: tenant SLA needs a *RunResult, got %T", r)
+			}
+			if len(rr.TenantAvailability) == 0 {
+				return nil, fmt.Errorf("core: result has no per-tenant availability data")
+			}
+			return rr.TenantAvailability, nil
+		},
+		AtLeast:   true,
+		Threshold: threshold,
+		Fraction:  fraction,
+	}
+}
+
+// Metric implements sla.Result.
+func (r *RunResult) Metric(name string) (float64, error) {
+	v, ok := r.Metrics[name]
+	if !ok {
+		return 0, fmt.Errorf("core: metric %q not recorded", name)
+	}
+	return v, nil
+}
+
+// LatencySample implements sla.Result.
+func (r *RunResult) LatencySample(workload string) *stats.Sample {
+	if r.Latencies == nil {
+		return nil
+	}
+	return r.Latencies[workload]
+}

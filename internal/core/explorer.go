@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/design"
+	"repro/internal/sla"
+)
+
+// PointOutcome is the result of one design point in a sweep.
+type PointOutcome struct {
+	Point  design.Point
+	Result *RunResult // nil when pruned
+	Pruned bool
+	AllMet bool
+	// Objective is the optimization value (lower is better) when the
+	// explorer has an objective function.
+	Objective float64
+}
+
+// Exploration summarizes a design-space sweep.
+type Exploration struct {
+	Outcomes []PointOutcome
+	Executed int
+	Pruned   int
+	Events   uint64
+}
+
+// Passing returns the outcomes that met every SLA, sorted by ascending
+// objective (stable for equal objectives).
+func (e *Exploration) Passing() []PointOutcome {
+	var out []PointOutcome
+	for _, o := range e.Outcomes {
+		if !o.Pruned && o.AllMet {
+			out = append(out, o)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Objective < out[j].Objective })
+	return out
+}
+
+// Best returns the passing outcome with the lowest objective, or an error
+// if nothing passed.
+func (e *Exploration) Best() (PointOutcome, error) {
+	passing := e.Passing()
+	if len(passing) == 0 {
+		return PointOutcome{}, fmt.Errorf("core: no configuration met all SLAs")
+	}
+	return passing[0], nil
+}
+
+// Explorer sweeps a design space, building a scenario per point and
+// running it (§4.2's "queries to the wind tunnel ... iterate over a vast
+// design space"). With Prune enabled, points are visited in the space's
+// best-first order and the dominance rule skips guaranteed failures;
+// otherwise points run concurrently on Workers goroutines.
+type Explorer struct {
+	Space *design.Space
+	// Build maps a design point to a runnable scenario and its SLAs.
+	Build func(p design.Point) (Scenario, []sla.SLA, error)
+	// Runner configures trial replication per point.
+	Runner Runner
+	// Prune enables §4.2 dominance pruning (forces sequential points).
+	Prune bool
+	// Workers bounds point-level parallelism when not pruning.
+	Workers int
+	// Objective, when non-nil, scores passing points (lower = better).
+	Objective func(p design.Point, r *RunResult) (float64, error)
+}
+
+// Run executes the sweep.
+func (e *Explorer) Run() (*Exploration, error) {
+	if e.Space == nil || e.Build == nil {
+		return nil, fmt.Errorf("core: explorer needs a space and a build function")
+	}
+	points := e.Space.Points()
+	if e.Prune {
+		return e.runSequential(points)
+	}
+	return e.runParallel(points)
+}
+
+// runSequential visits points best-first with dominance pruning.
+func (e *Explorer) runSequential(points []design.Point) (*Exploration, error) {
+	pruner := design.NewPruner(e.Space)
+	exp := &Exploration{}
+	for _, p := range points {
+		if pruner.Dominated(p) {
+			exp.Outcomes = append(exp.Outcomes, PointOutcome{Point: p, Pruned: true})
+			exp.Pruned++
+			continue
+		}
+		out, err := e.runPoint(p)
+		if err != nil {
+			return nil, err
+		}
+		exp.Executed++
+		exp.Events += out.Result.EventsTotal
+		if !out.AllMet {
+			pruner.RecordFailure(p)
+		}
+		exp.Outcomes = append(exp.Outcomes, out)
+	}
+	return exp, nil
+}
+
+// runParallel fans points out over a worker pool.
+func (e *Explorer) runParallel(points []design.Point) (*Exploration, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type slot struct {
+		out PointOutcome
+		err error
+	}
+	results := make([]slot, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p design.Point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := e.runPoint(p)
+			results[i] = slot{out: out, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	exp := &Exploration{}
+	for _, s := range results {
+		if s.err != nil {
+			return nil, s.err
+		}
+		exp.Executed++
+		exp.Events += s.out.Result.EventsTotal
+		exp.Outcomes = append(exp.Outcomes, s.out)
+	}
+	return exp, nil
+}
+
+// runPoint builds and runs one scenario.
+func (e *Explorer) runPoint(p design.Point) (PointOutcome, error) {
+	sc, slas, err := e.Build(p)
+	if err != nil {
+		return PointOutcome{}, fmt.Errorf("core: building point %s: %w", p.Key(), err)
+	}
+	runner := e.Runner
+	runner.SLAs = slas
+	res, err := runner.Run(sc)
+	if err != nil {
+		return PointOutcome{}, fmt.Errorf("core: running point %s: %w", p.Key(), err)
+	}
+	out := PointOutcome{Point: p, Result: res, AllMet: res.AllMet}
+	if e.Objective != nil && res.AllMet {
+		obj, err := e.Objective(p, res)
+		if err != nil {
+			return PointOutcome{}, fmt.Errorf("core: scoring point %s: %w", p.Key(), err)
+		}
+		out.Objective = obj
+	}
+	return out, nil
+}

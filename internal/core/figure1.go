@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Figure1Config parameterizes one point of the paper's Figure 1: the
+// probability that at least one of Users customers loses its majority
+// quorum when exactly Failures of N nodes are down, under the given
+// placement policy and replication factor.
+type Figure1Config struct {
+	N         int    // cluster size (10 or 30 in the paper)
+	Replicas  int    // replication factor (3 or 5)
+	Failures  int    // number of simultaneously failed nodes (x-axis)
+	Users     int    // 10,000 in the paper
+	Placement string // "random" or "roundrobin"
+	Trials    int
+	Seed      uint64
+}
+
+// Validate checks the configuration.
+func (c Figure1Config) Validate() error {
+	if c.N < 1 || c.Replicas < 1 || c.Replicas > c.N {
+		return fmt.Errorf("core: figure1 needs 1 <= replicas <= N, got n=%d N=%d", c.Replicas, c.N)
+	}
+	if c.Failures < 0 || c.Failures > c.N {
+		return fmt.Errorf("core: figure1 failures %d outside [0, %d]", c.Failures, c.N)
+	}
+	if c.Users < 1 {
+		return fmt.Errorf("core: figure1 needs >= 1 user, got %d", c.Users)
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("core: figure1 needs >= 1 trial, got %d", c.Trials)
+	}
+	if _, err := storage.PolicyByName(c.Placement); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Figure1Result is a Monte-Carlo estimate with its Wilson 95% interval
+// and, when available, the exact combinatorial value (the §4.3 validation
+// baseline).
+type Figure1Result struct {
+	Config      Figure1Config
+	Probability float64
+	CILo, CIHi  float64
+	Exact       float64 // NaN-free: -1 when no closed form applies
+}
+
+// Figure1MonteCarlo estimates one Figure-1 point by simulation: each
+// trial draws a placement (for randomized policies) and a uniformly
+// random set of failed nodes, then asks whether any user lost quorum.
+func Figure1MonteCarlo(cfg Figure1Config) (Figure1Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Figure1Result{}, err
+	}
+	policy, err := storage.PolicyByName(cfg.Placement)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	view := storage.View{Nodes: cfg.N}
+	r := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+
+	// RoundRobin placement is deterministic: place once, resample failure
+	// sets. Random placement: resample placements every trial (we fix the
+	// failed set by symmetry — any f-subset is equivalent).
+	deterministicPlacement := cfg.Placement == "roundrobin"
+	var fixedStore *storage.Store
+	if deterministicPlacement {
+		fixedStore, err = buildFigure1Store(view, policy, cfg, r)
+		if err != nil {
+			return Figure1Result{}, err
+		}
+	}
+
+	hits := int64(0)
+	down := make([]bool, cfg.N)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		st := fixedStore
+		if !deterministicPlacement {
+			st, err = buildFigure1Store(view, policy, cfg, r)
+			if err != nil {
+				return Figure1Result{}, err
+			}
+		}
+		for i := range down {
+			down[i] = false
+		}
+		if deterministicPlacement {
+			// Random failure set.
+			for _, f := range r.Sample(cfg.N, cfg.Failures) {
+				down[f] = true
+			}
+		} else {
+			// Fixed failure set {0..f-1}; placement is the random part.
+			for i := 0; i < cfg.Failures; i++ {
+				down[i] = true
+			}
+		}
+		if st.AnyUnavailable(func(n int) bool { return down[n] }) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(cfg.Trials)
+	lo, hi := stats.BinomialCI(hits, int64(cfg.Trials), 0.05)
+
+	exact := -1.0
+	if ex, err := analytic.Figure1Exact(analytic.Figure1Point{
+		Placement: cfg.Placement, N: cfg.N, Replicas: cfg.Replicas,
+		Failures: cfg.Failures, Users: cfg.Users,
+	}); err == nil {
+		exact = ex
+	}
+	return Figure1Result{Config: cfg, Probability: p, CILo: lo, CIHi: hi, Exact: exact}, nil
+}
+
+// buildFigure1Store creates and populates a store for one trial.
+func buildFigure1Store(view storage.View, policy storage.Policy, cfg Figure1Config, r *rng.Source) (*storage.Store, error) {
+	st, err := storage.NewStore(view, policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.AddObjects(cfg.Users, 1, storage.ReplicationScheme(cfg.Replicas), r); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Figure1Curve sweeps failures 0..N for one configuration, returning one
+// result per x-value — one curve of the paper's Figure 1.
+func Figure1Curve(base Figure1Config) ([]Figure1Result, error) {
+	out := make([]Figure1Result, 0, base.N+1)
+	for f := 0; f <= base.N; f++ {
+		cfg := base
+		cfg.Failures = f
+		res, err := Figure1MonteCarlo(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure1MCMatchesExactRandom(t *testing.T) {
+	// §4.3 validation: the Monte-Carlo wind tunnel must agree with the
+	// closed-form combinatorics.
+	for _, f := range []int{1, 2, 3} {
+		cfg := Figure1Config{
+			N: 10, Replicas: 3, Failures: f, Users: 1000,
+			Placement: "random", Trials: 4000, Seed: 42,
+		}
+		res, err := Figure1MonteCarlo(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exact < 0 {
+			t.Fatalf("f=%d: no exact value computed", f)
+		}
+		// The exact value should be inside (slightly widened) Wilson CI.
+		slack := 0.02
+		if res.Exact < res.CILo-slack || res.Exact > res.CIHi+slack {
+			t.Errorf("f=%d: exact %v outside MC CI [%v, %v]",
+				f, res.Exact, res.CILo, res.CIHi)
+		}
+	}
+}
+
+func TestFigure1MCMatchesExactRoundRobin(t *testing.T) {
+	for _, f := range []int{2, 4, 6} {
+		cfg := Figure1Config{
+			N: 10, Replicas: 3, Failures: f, Users: 1000,
+			Placement: "roundrobin", Trials: 4000, Seed: 7,
+		}
+		res, err := Figure1MonteCarlo(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := 0.02
+		if res.Exact < res.CILo-slack || res.Exact > res.CIHi+slack {
+			t.Errorf("f=%d: exact %v outside MC CI [%v, %v]",
+				f, res.Exact, res.CILo, res.CIHi)
+		}
+	}
+}
+
+func TestFigure1CurveShape(t *testing.T) {
+	// The paper's qualitative claims: monotone in failures, 0 at f=0,
+	// 1 at f=N.
+	curve, err := Figure1Curve(Figure1Config{
+		N: 10, Replicas: 3, Users: 1000, Placement: "roundrobin",
+		Trials: 1500, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 11 {
+		t.Fatalf("curve has %d points, want 11", len(curve))
+	}
+	if curve[0].Probability != 0 {
+		t.Errorf("P(unavail | 0 failures) = %v, want 0", curve[0].Probability)
+	}
+	if curve[10].Probability != 1 {
+		t.Errorf("P(unavail | all failed) = %v, want 1", curve[10].Probability)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Probability < curve[i-1].Probability-0.05 {
+			t.Errorf("curve not (approximately) monotone at f=%d: %v < %v",
+				i, curve[i].Probability, curve[i-1].Probability)
+		}
+	}
+}
+
+func TestFigure1HigherReplicationShiftsCurve(t *testing.T) {
+	// n=5 curve must lie at or below n=3 at small failure counts.
+	for _, f := range []int{2, 3} {
+		p3, err := Figure1MonteCarlo(Figure1Config{
+			N: 30, Replicas: 3, Failures: f, Users: 10000,
+			Placement: "random", Trials: 1500, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p5, err := Figure1MonteCarlo(Figure1Config{
+			N: 30, Replicas: 5, Failures: f, Users: 10000,
+			Placement: "random", Trials: 1500, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p5.Probability > p3.Probability+0.05 {
+			t.Errorf("f=%d: n=5 prob %v exceeds n=3 prob %v",
+				f, p5.Probability, p3.Probability)
+		}
+	}
+}
+
+func TestFigure1Validation(t *testing.T) {
+	bad := Figure1Config{N: 10, Replicas: 11, Failures: 1, Users: 10, Placement: "random", Trials: 10}
+	if _, err := Figure1MonteCarlo(bad); err == nil {
+		t.Error("replicas > N accepted")
+	}
+	bad = Figure1Config{N: 10, Replicas: 3, Failures: 11, Users: 10, Placement: "random", Trials: 10}
+	if _, err := Figure1MonteCarlo(bad); err == nil {
+		t.Error("failures > N accepted")
+	}
+	bad = Figure1Config{N: 10, Replicas: 3, Failures: 1, Users: 10, Placement: "bogus", Trials: 10}
+	if _, err := Figure1MonteCarlo(bad); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	bad = Figure1Config{N: 10, Replicas: 3, Failures: 1, Users: 0, Placement: "random", Trials: 10}
+	if _, err := Figure1MonteCarlo(bad); err == nil {
+		t.Error("0 users accepted")
+	}
+}
+
+func TestInteractionGraphConflicts(t *testing.T) {
+	g := NewInteractionGraph()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Add(ModelDecl{Name: "transfer", Reads: []string{"net"}, Writes: []string{"machine-1"}}))
+	must(g.Add(ModelDecl{Name: "workload-1", Reads: []string{"machine-1"}, Writes: []string{"machine-1"}}))
+	must(g.Add(ModelDecl{Name: "disk-failure", Writes: []string{"disk-9"}}))
+	must(g.Add(ModelDecl{Name: "switch-failure", Writes: []string{"switch-0"}}))
+
+	// The paper's examples: transfer and workload on the same machine
+	// interact; disk failure and switch failure do not.
+	c, err := g.Conflicts("transfer", "workload-1")
+	if err != nil || !c {
+		t.Errorf("transfer/workload should conflict (err %v)", err)
+	}
+	c, err = g.Conflicts("disk-failure", "switch-failure")
+	if err != nil || c {
+		t.Errorf("disk/switch failure models should be independent (err %v)", err)
+	}
+	if _, err := g.Conflicts("transfer", "nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := g.Add(ModelDecl{Name: "transfer"}); err == nil {
+		t.Error("duplicate model accepted")
+	}
+	if err := g.Add(ModelDecl{}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestInteractionGraphIslands(t *testing.T) {
+	g := NewInteractionGraph()
+	for _, m := range []ModelDecl{
+		{Name: "a", Writes: []string{"r1"}},
+		{Name: "b", Reads: []string{"r1"}},
+		{Name: "c", Writes: []string{"r2"}},
+		{Name: "d", Reads: []string{"r2"}, Writes: []string{"r3"}},
+		{Name: "e", Writes: []string{"r4"}},
+	} {
+		if err := g.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	islands := g.Islands()
+	// {a,b}, {c,d}, {e}.
+	if len(islands) != 3 {
+		t.Fatalf("islands = %v, want 3 groups", islands)
+	}
+	if len(islands[0]) != 2 || islands[0][0] != "a" || islands[0][1] != "b" {
+		t.Errorf("first island = %v, want [a b]", islands[0])
+	}
+	if len(islands[2]) != 1 || islands[2][0] != "e" {
+		t.Errorf("last island = %v, want [e]", islands[2])
+	}
+}
+
+func TestInteractionGraphParallelBatches(t *testing.T) {
+	g := ScenarioInteractionGraph(4)
+	batches := g.ParallelBatches()
+	if len(batches) == 0 {
+		t.Fatal("no batches")
+	}
+	// First batch must contain all 4 disk-failure models AND the switch
+	// model (mutually independent).
+	if len(batches[0]) != 5 {
+		t.Fatalf("first batch = %v, want 4 disk models + switch", batches[0])
+	}
+	// Every model appears exactly once overall.
+	seen := map[string]int{}
+	for _, b := range batches {
+		for _, m := range b {
+			seen[m]++
+		}
+	}
+	for _, m := range g.Models() {
+		if seen[m] != 1 {
+			t.Errorf("model %s scheduled %d times", m, seen[m])
+		}
+	}
+	// Repair conflicts with everything, so it must be in its own batch.
+	last := batches[len(batches)-1]
+	if len(last) != 1 || last[0] != "repair" {
+		t.Errorf("repair not isolated: %v", batches)
+	}
+}
+
+func TestFigure1ExactAgreesWithMCUnderBothPolicies(t *testing.T) {
+	// Cross-check MC estimates against each other at a shared point where
+	// both have exact values: the probabilities must both be in [0,1] and
+	// RR <= Random at small f (paper shape).
+	rr, err := Figure1MonteCarlo(Figure1Config{
+		N: 10, Replicas: 3, Failures: 2, Users: 10000,
+		Placement: "roundrobin", Trials: 3000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Figure1MonteCarlo(Figure1Config{
+		N: 10, Replicas: 3, Failures: 2, Users: 10000,
+		Placement: "random", Trials: 3000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rr.Probability < rd.Probability) {
+		t.Errorf("RR prob %v should be below Random prob %v at f=2, 10k users",
+			rr.Probability, rd.Probability)
+	}
+	// And the exact values agree with the hand-computed 20/45 and ~1.
+	if math.Abs(rr.Exact-20.0/45) > 1e-9 {
+		t.Errorf("RR exact = %v, want %v", rr.Exact, 20.0/45)
+	}
+	if rd.Exact < 0.999 {
+		t.Errorf("Random exact = %v, want ~1 with 10k users", rd.Exact)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+	"repro/internal/repair"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/sla"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// AbortRule enables §4.2 early abort: a trial is stopped as soon as its
+// partial trajectory proves the availability constraint cannot be met.
+type AbortRule struct {
+	// MinAvailability is the constraint being checked. A trial aborts
+	// once accumulated any-unavailable time alone pushes final
+	// availability below this bound even if the system were perfectly
+	// available for the rest of the horizon.
+	MinAvailability float64
+	// CheckEvery is the event interval between checks (default 512).
+	CheckEvery uint64
+}
+
+// Runner executes replicated trials of a scenario.
+type Runner struct {
+	// Trials is the maximum number of trials (>= 1).
+	Trials int
+	// TargetCI, when positive, stops early once the 95% confidence
+	// half-width of the availability estimate drops below it (checked
+	// after each batch of Workers trials).
+	TargetCI float64
+	// Workers bounds trial-level parallelism (0 = GOMAXPROCS).
+	Workers int
+	// SLAs are checked against the aggregate result.
+	SLAs []sla.SLA
+	// Abort, when non-nil, enables per-trial early abort.
+	Abort *AbortRule
+}
+
+// trialOutcome carries one trial's raw measurements.
+type trialOutcome struct {
+	availability   float64
+	zeroCopy       float64
+	tenantAvail    []float64
+	meanUnavail    float64
+	lost           int64
+	repairs        int64
+	repairBytes    float64
+	nodeFailures   int64
+	events         uint64
+	repairMakespan float64
+	aborted        bool
+	err            error
+}
+
+// Run executes the scenario.
+func (r Runner) Run(sc Scenario) (*RunResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Trials < 1 {
+		return nil, fmt.Errorf("core: Runner.Trials must be >= 1, got %d", r.Trials)
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > r.Trials {
+		workers = r.Trials
+	}
+
+	var (
+		avail       stats.Welford
+		zeroCopy    stats.Welford
+		meanUnavail stats.Welford
+		lostW       stats.Welford
+		repairsW    stats.Welford
+		repBytesW   stats.Welford
+		nodeFailW   stats.Welford
+		makespanW   stats.Welford
+		events      uint64
+		aborted     int
+		tenantAvail []float64
+	)
+
+	trial := 0
+	for trial < r.Trials {
+		batch := workers
+		if trial+batch > r.Trials {
+			batch = r.Trials - trial
+		}
+		outs := make([]trialOutcome, batch)
+		var wg sync.WaitGroup
+		for i := 0; i < batch; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = r.runTrial(sc, uint64(trial+i))
+			}(i)
+		}
+		wg.Wait()
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			avail.Add(o.availability)
+			zeroCopy.Add(o.zeroCopy)
+			meanUnavail.Add(o.meanUnavail)
+			lostW.Add(float64(o.lost) / float64(sc.Users))
+			repairsW.Add(float64(o.repairs))
+			repBytesW.Add(o.repairBytes)
+			nodeFailW.Add(float64(o.nodeFailures))
+			makespanW.Add(o.repairMakespan)
+			events += o.events
+			tenantAvail = append(tenantAvail, o.tenantAvail...)
+			if o.aborted {
+				aborted++
+			}
+		}
+		trial += batch
+		if r.TargetCI > 0 && avail.N() >= 2 && avail.CI(0.05) < r.TargetCI {
+			break
+		}
+	}
+
+	res := &RunResult{
+		Scenario: sc.Name,
+		Trials:   int(avail.N()),
+		Metrics: map[string]float64{
+			"availability":         avail.Mean(),
+			"unavail_fraction":     1 - avail.Mean(),
+			"zero_copy_fraction":   zeroCopy.Mean(),
+			"mean_unavail_objects": meanUnavail.Mean(),
+			"loss_prob":            lostW.Mean(),
+			"repairs":              repairsW.Mean(),
+			"repair_bytes_mb":      repBytesW.Mean(),
+			"node_failures":        nodeFailW.Mean(),
+			"repair_makespan":      makespanW.Mean(),
+			"events":               float64(events) / float64(avail.N()),
+		},
+		CI: map[string]float64{
+			"availability": avail.CI(0.05),
+			"loss_prob":    lostW.CI(0.05),
+		},
+		EventsTotal:        events,
+		AbortedTrials:      aborted,
+		TenantAvailability: tenantAvail,
+	}
+	if len(r.SLAs) > 0 {
+		verdicts, all, err := sla.CheckAll(res, r.SLAs)
+		if err != nil {
+			return nil, err
+		}
+		res.Verdicts = verdicts
+		res.AllMet = all
+	} else {
+		res.AllMet = true
+	}
+	return res, nil
+}
+
+// runTrial builds and runs one independent replication.
+func (r Runner) runTrial(sc Scenario, trial uint64) trialOutcome {
+	s := sim.New(sc.Seed*1_000_003 + trial)
+	cl, err := cluster.Build(s, hardware.DefaultCatalog(), sc.Cluster)
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	view := storage.View{Nodes: cl.Size(), RackOf: rackOf(cl)}
+	policy, err := storage.PolicyByName(sc.Placement)
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	st, err := storage.NewStore(view, policy)
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	if err := st.AddObjects(sc.Users, sc.ObjectSizeMB, sc.Scheme, rng.New(sc.Seed*7_919+trial)); err != nil {
+		return trialOutcome{err: err}
+	}
+	mgr, err := repair.NewManager(s, cl, st, sc.Repair)
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	mgr.Start()
+	cl.StartFailures()
+
+	if r.Abort != nil {
+		every := r.Abort.CheckEvery
+		if every == 0 {
+			every = 512
+		}
+		minAvail := r.Abort.MinAvailability
+		s.SetAbortCheck(func() bool {
+			// Lower bound on final unavailable fraction: unavailable time
+			// already accrued divided by the full horizon.
+			accrued := mgr.AnyUnavailableFraction() * s.Now()
+			return 1-accrued/sc.HorizonHours < minAvail
+		}, every)
+	}
+
+	s.RunUntil(sc.HorizonHours)
+
+	out := trialOutcome{
+		availability: 1 - mgr.AnyUnavailableFraction(),
+		zeroCopy:     mgr.ZeroCopyFraction(),
+		tenantAvail:  mgr.TenantAvailabilities(),
+		meanUnavail:  mgr.MeanUnavailableObjects(),
+		lost:         mgr.LostObjects(),
+		repairs:      mgr.Completed(),
+		repairBytes:  mgr.BytesMovedMB(),
+		nodeFailures: cl.NodeFailures(),
+		events:       s.Executed(),
+		aborted:      s.Aborted(),
+	}
+	if mgr.RepairTimes().N() > 0 {
+		out.repairMakespan = mgr.RepairTimes().Max()
+	}
+	if s.Aborted() {
+		// An aborted trial is, by construction, a trial that violated the
+		// availability bound; report the bound itself as a conservative
+		// (optimistic) availability so aggregates stay monotone.
+		out.availability = 1 - mgr.AnyUnavailableFraction()*s.Now()/sc.HorizonHours
+	}
+	return out
+}
+
+// rackOf extracts the rack map for placement.
+func rackOf(cl *cluster.Cluster) []int {
+	out := make([]int, cl.Size())
+	for i, n := range cl.Nodes() {
+		out[i] = n.Rack
+	}
+	return out
+}

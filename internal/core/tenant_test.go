@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sla"
+)
+
+func TestTenantAvailabilityPooled(t *testing.T) {
+	res, err := Runner{Trials: 3, Workers: 1}.Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One availability value per tenant per trial.
+	want := 3 * 100
+	if len(res.TenantAvailability) != want {
+		t.Fatalf("tenant pool size = %d, want %d", len(res.TenantAvailability), want)
+	}
+	for i, a := range res.TenantAvailability {
+		if a < 0 || a > 1 {
+			t.Fatalf("tenant %d availability %v outside [0,1]", i, a)
+		}
+	}
+}
+
+func TestTenantAvailabilityConsistentWithGlobal(t *testing.T) {
+	// If global availability < 1, some tenant must be below 1 too; if all
+	// tenants are at 1, the any-unavailable fraction must be 0.
+	res, err := Runner{Trials: 4, Workers: 1}.Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyBelow := false
+	for _, a := range res.TenantAvailability {
+		if a < 1 {
+			anyBelow = true
+			break
+		}
+	}
+	globalBelow := res.Metrics["availability"] < 1
+	if globalBelow != anyBelow {
+		t.Fatalf("global availability %v but tenant-below-1 = %v",
+			res.Metrics["availability"], anyBelow)
+	}
+}
+
+func TestTenantDistributionSLAEndToEnd(t *testing.T) {
+	// §3's question verbatim: do 95% of customers see >= 99.9%?
+	easySLA := TenantAvailabilitySLA(0.95, 0.999)
+	hardSLA := TenantAvailabilitySLA(1.0, 1.0)
+	res, err := Runner{Trials: 4, Workers: 1, SLAs: nil}.Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, err := easySLA.Check(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := hardSLA.Check(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quick scenario has some unavailability windows (detection 6h);
+	// the vast majority of tenants are untouched, so the 95%@3-nines SLA
+	// holds while the 100%@perfect SLA fails.
+	if !easy.Met {
+		t.Errorf("95%%-of-tenants SLA should be met: %v", easy)
+	}
+	if hard.Met {
+		t.Errorf("100%%-at-1.0 SLA should fail: %v", hard)
+	}
+	// Checking against a non-RunResult errors.
+	if _, err := easySLA.Check(sla.MapResult{}); err == nil {
+		t.Error("tenant SLA accepted a result without tenant data")
+	}
+}

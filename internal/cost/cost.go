@@ -1,0 +1,131 @@
+// Package cost prices data center configurations: capital expenditure
+// from the hardware catalog, energy, and expected replacement spend over
+// an operating horizon. It answers the economic half of the paper's
+// provisioning question (§3: "...and minimize the total operating cost").
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+)
+
+// PriceBook holds the economic constants.
+type PriceBook struct {
+	// USDPerKWh is the electricity price.
+	USDPerKWh float64
+	// PUE is the power usage effectiveness multiplier (total facility
+	// power / IT power), typically 1.1-2.0.
+	PUE float64
+	// ReplacementLaborUSD is the flat labor cost per component swap.
+	ReplacementLaborUSD float64
+}
+
+// DefaultPriceBook returns 2014-era defaults.
+func DefaultPriceBook() PriceBook {
+	return PriceBook{USDPerKWh: 0.10, PUE: 1.5, ReplacementLaborUSD: 50}
+}
+
+// Validate checks the price book.
+func (p PriceBook) Validate() error {
+	if p.USDPerKWh < 0 || p.PUE < 1 || p.ReplacementLaborUSD < 0 {
+		return fmt.Errorf("cost: invalid price book %+v", p)
+	}
+	return nil
+}
+
+// Breakdown itemizes a configuration's cost over a horizon.
+type Breakdown struct {
+	CapexUSD       float64 // purchase price of all components
+	EnergyUSD      float64 // power over the horizon
+	ReplacementUSD float64 // expected component replacements
+	HorizonHours   float64
+}
+
+// TotalUSD returns the sum of all items.
+func (b Breakdown) TotalUSD() float64 {
+	return b.CapexUSD + b.EnergyUSD + b.ReplacementUSD
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total $%.0f (capex $%.0f, energy $%.0f, replacement $%.0f over %.0fh)",
+		b.TotalUSD(), b.CapexUSD, b.EnergyUSD, b.ReplacementUSD, b.HorizonHours)
+}
+
+// nodeSpecs lists the per-node component specs of a cluster config.
+func nodeSpecs(cat *hardware.Catalog, cfg cluster.Config) ([]hardware.Spec, error) {
+	var specs []hardware.Spec
+	disk, err := cat.Get(cfg.DiskSpec)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.DisksPerNode; i++ {
+		specs = append(specs, disk)
+	}
+	for _, name := range []string{cfg.NICSpec, cfg.CPUSpec, cfg.MemSpec} {
+		sp, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// Estimate prices a cluster configuration over horizonHours. Expected
+// replacements use each component's mean time to failure: horizon/MTTF
+// failures per component in steady state (each swap costs labor plus the
+// component price).
+func Estimate(cat *hardware.Catalog, cfg cluster.Config, book PriceBook, horizonHours float64) (Breakdown, error) {
+	if err := book.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if horizonHours <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: horizon must be positive, got %v", horizonHours)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	perNode, err := nodeSpecs(cat, cfg)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	swSpec, err := cat.Get(cfg.SwitchSpec)
+	if err != nil {
+		return Breakdown{}, err
+	}
+
+	nodes := float64(cfg.Racks * cfg.NodesPerRack)
+	var b Breakdown
+	b.HorizonHours = horizonHours
+	addSpec := func(sp hardware.Spec, count float64) {
+		b.CapexUSD += sp.CostUSD * count
+		kwh := sp.PowerWatts / 1000 * horizonHours * book.PUE
+		b.EnergyUSD += kwh * book.USDPerKWh * count
+		mttf := sp.TTF.Mean()
+		if mttf > 0 {
+			expectedFailures := horizonHours / mttf * count
+			b.ReplacementUSD += expectedFailures * (sp.CostUSD + book.ReplacementLaborUSD)
+		}
+	}
+	for _, sp := range perNode {
+		addSpec(sp, nodes)
+	}
+	// One ToR switch per rack plus one core switch.
+	addSpec(swSpec, float64(cfg.Racks)+1)
+	return b, nil
+}
+
+// PerUserMonthlyUSD converts a breakdown into a per-user monthly price
+// given the user population, amortizing capex over the horizon.
+func PerUserMonthlyUSD(b Breakdown, users int) (float64, error) {
+	if users < 1 {
+		return 0, fmt.Errorf("cost: need >= 1 user, got %d", users)
+	}
+	months := b.HorizonHours / (hardware.HoursPerYear / 12)
+	if months <= 0 {
+		return 0, fmt.Errorf("cost: non-positive horizon")
+	}
+	return b.TotalUSD() / months / float64(users), nil
+}

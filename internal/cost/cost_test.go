@@ -1,0 +1,110 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hardware"
+)
+
+func cfg() cluster.Config {
+	return cluster.Config{
+		Racks: 2, NodesPerRack: 5,
+		DiskSpec: "hdd-7200", DisksPerNode: 4,
+		NICSpec: "nic-10g", CPUSpec: "cpu-8c", MemSpec: "mem-16g",
+		SwitchSpec: "switch-48p-10g",
+	}
+}
+
+func TestEstimateBreakdown(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	b, err := Estimate(cat, cfg(), DefaultPriceBook(), 3*hardware.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed capex: 10 nodes x (4x$100 + $250 + $400 + $160)
+	// + 3 switches x $5000 = 10x1210 + 15000 = 27100.
+	if b.CapexUSD != 27100 {
+		t.Errorf("capex = %v, want 27100", b.CapexUSD)
+	}
+	if b.EnergyUSD <= 0 {
+		t.Error("energy cost must be positive")
+	}
+	if b.ReplacementUSD <= 0 {
+		t.Error("replacement cost must be positive over 3 years")
+	}
+	if b.TotalUSD() != b.CapexUSD+b.EnergyUSD+b.ReplacementUSD {
+		t.Error("total != sum of parts")
+	}
+	if b.String() == "" {
+		t.Error("empty breakdown string")
+	}
+}
+
+func TestSSDCostsMoreThanHDD(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	hdd := cfg()
+	ssd := cfg()
+	ssd.DiskSpec = "ssd-nvme"
+	bh, err := Estimate(cat, hdd, DefaultPriceBook(), hardware.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Estimate(cat, ssd, DefaultPriceBook(), hardware.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.TotalUSD() <= bh.TotalUSD() {
+		t.Errorf("NVMe config $%v should cost more than HDD config $%v",
+			bs.TotalUSD(), bh.TotalUSD())
+	}
+}
+
+func TestLongerHorizonCostsMore(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	b1, err := Estimate(cat, cfg(), DefaultPriceBook(), hardware.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Estimate(cat, cfg(), DefaultPriceBook(), 3*hardware.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.TotalUSD() <= b1.TotalUSD() {
+		t.Error("3-year cost should exceed 1-year cost")
+	}
+	if b3.CapexUSD != b1.CapexUSD {
+		t.Error("capex should not depend on horizon")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	if _, err := Estimate(cat, cfg(), DefaultPriceBook(), 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := cfg()
+	bad.DiskSpec = "bogus"
+	if _, err := Estimate(cat, bad, DefaultPriceBook(), 100); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	badBook := PriceBook{USDPerKWh: -1, PUE: 1.5}
+	if _, err := Estimate(cat, cfg(), badBook, 100); err == nil {
+		t.Error("negative electricity price accepted")
+	}
+}
+
+func TestPerUserMonthly(t *testing.T) {
+	b := Breakdown{CapexUSD: 12000, HorizonHours: hardware.HoursPerYear}
+	got, err := PerUserMonthlyUSD(b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// $12000 over 12 months over 100 users = $10/user/month.
+	if got < 9.9 || got > 10.1 {
+		t.Errorf("per-user monthly = %v, want ~10", got)
+	}
+	if _, err := PerUserMonthlyUSD(b, 0); err == nil {
+		t.Error("0 users accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Flow is an in-progress bulk transfer.
+type Flow struct {
+	ID        int
+	Src, Dst  NodeID
+	size      float64 // MB
+	remaining float64
+	route     []*Link
+	rate      float64 // MB per time unit, 0 while in latency phase
+	lastSet   sim.Time
+	started   sim.Time
+	active    bool
+	done      func(f *Flow)
+	failed    func(f *Flow, err error)
+	event     *sim.Event
+}
+
+// Size returns the flow's total size in MB.
+func (f *Flow) Size() float64 { return f.size }
+
+// Rate returns the instantaneous allocated rate.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns bytes left as of the last allocation update.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// FlowSim schedules fluid flows over a Topology with max–min fair
+// bandwidth allocation, driving completion callbacks through the
+// simulator.
+type FlowSim struct {
+	sim    *sim.Simulator
+	topo   *Topology
+	flows  map[int]*Flow
+	nextID int
+
+	// Metrics.
+	started   int64
+	completed int64
+	aborted   int64
+	bytes     float64 // MB delivered
+}
+
+// NewFlowSim couples a simulator and a topology.
+func NewFlowSim(s *sim.Simulator, t *Topology) *FlowSim {
+	return &FlowSim{sim: s, topo: t, flows: make(map[int]*Flow)}
+}
+
+// Active returns the number of in-flight flows.
+func (fs *FlowSim) Active() int { return len(fs.flows) }
+
+// Flows returns the in-flight flows (active and latency-phase), in
+// unspecified order. Intended for tests and diagnostics.
+func (fs *FlowSim) Flows() []*Flow {
+	out := make([]*Flow, 0, len(fs.flows))
+	for _, f := range fs.flows {
+		out = append(out, f)
+	}
+	return out
+}
+
+// IsActive reports whether the flow has passed its latency phase and is
+// consuming bandwidth.
+func (f *Flow) IsActive() bool { return f.active }
+
+// Route returns the links the flow currently crosses.
+func (f *Flow) Route() []*Link { return f.route }
+
+// Completed returns the number of finished flows.
+func (fs *FlowSim) Completed() int64 { return fs.completed }
+
+// Aborted returns the number of flows killed by link failures.
+func (fs *FlowSim) Aborted() int64 { return fs.aborted }
+
+// BytesDelivered returns total MB delivered by completed flows.
+func (fs *FlowSim) BytesDelivered() float64 { return fs.bytes }
+
+// Start begins a transfer of sizeMB from src to dst. done fires on
+// completion; failed fires if the flow is aborted by a link failure and
+// cannot be rerouted (either callback may be nil). The route's propagation
+// latency elapses before bandwidth is consumed.
+func (fs *FlowSim) Start(src, dst NodeID, sizeMB float64, done func(*Flow), failed func(*Flow, error)) (*Flow, error) {
+	if sizeMB <= 0 || math.IsNaN(sizeMB) {
+		return nil, fmt.Errorf("netsim: flow size must be > 0, got %v", sizeMB)
+	}
+	route, err := fs.topo.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{
+		ID: fs.nextID, Src: src, Dst: dst,
+		size: sizeMB, remaining: sizeMB, route: route,
+		started: fs.sim.Now(), done: done, failed: failed,
+	}
+	fs.nextID++
+	fs.flows[f.ID] = f
+	fs.started++
+	lat := RouteLatency(route)
+	if len(route) == 0 {
+		// Local transfer: completes after latency only (disk-to-disk
+		// copy on the same host is not network-bound).
+		f.event = fs.sim.Schedule(lat, "flow/local-done", func() { fs.finish(f) })
+		return f, nil
+	}
+	f.event = fs.sim.Schedule(lat, "flow/activate", func() {
+		f.active = true
+		f.lastSet = fs.sim.Now()
+		fs.recompute()
+	})
+	return f, nil
+}
+
+// Cancel aborts a flow without invoking callbacks.
+func (fs *FlowSim) Cancel(f *Flow) {
+	if _, ok := fs.flows[f.ID]; !ok {
+		return
+	}
+	fs.removeFlow(f)
+	fs.recompute()
+}
+
+// finish completes a flow.
+func (fs *FlowSim) finish(f *Flow) {
+	fs.bytes += f.size
+	fs.completed++
+	fs.removeFlow(f)
+	if f.done != nil {
+		f.done(f)
+	}
+	fs.recompute()
+}
+
+func (fs *FlowSim) removeFlow(f *Flow) {
+	if f.event != nil {
+		fs.sim.Cancel(f.event)
+		f.event = nil
+	}
+	delete(fs.flows, f.ID)
+	f.active = false
+}
+
+// OnLinkChange must be called after any link state change; it reroutes or
+// aborts affected flows and reallocates bandwidth.
+func (fs *FlowSim) OnLinkChange() {
+	now := fs.sim.Now()
+	// Settle progress before rerouting.
+	fs.settle(now)
+	for _, f := range fs.flows {
+		if !f.active {
+			continue
+		}
+		broken := false
+		for _, l := range f.route {
+			if !l.up {
+				broken = true
+				break
+			}
+		}
+		if !broken {
+			continue
+		}
+		route, err := fs.topo.Route(f.Src, f.Dst)
+		if err != nil {
+			fs.aborted++
+			fs.removeFlow(f)
+			if f.failed != nil {
+				f.failed(f, err)
+			}
+			continue
+		}
+		f.route = route
+	}
+	fs.recompute()
+}
+
+// settle banks transfer progress for all active flows up to now.
+func (fs *FlowSim) settle(now sim.Time) {
+	for _, f := range fs.flows {
+		if !f.active {
+			continue
+		}
+		f.remaining -= f.rate * (now - f.lastSet)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.lastSet = now
+	}
+}
+
+// recompute reruns max–min fair allocation and reschedules completions.
+func (fs *FlowSim) recompute() {
+	now := fs.sim.Now()
+	fs.settle(now)
+
+	// Progressive filling over active flows.
+	type linkState struct {
+		residual float64
+		flows    []*Flow
+	}
+	states := make(map[*Link]*linkState)
+	var unfrozen []*Flow
+	for _, f := range fs.flows {
+		if !f.active {
+			continue
+		}
+		unfrozen = append(unfrozen, f)
+		f.rate = math.Inf(1)
+		for _, l := range f.route {
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: l.Capacity}
+				states[l] = st
+			}
+			st.flows = append(st.flows, f)
+		}
+	}
+	frozen := make(map[int]bool)
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: minimum fair share among links that
+		// still carry unfrozen flows.
+		var bottleneck *Link
+		share := math.Inf(1)
+		for l, st := range states {
+			n := 0
+			for _, f := range st.flows {
+				if !frozen[f.ID] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			s := st.residual / float64(n)
+			if s < share {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			// No capacity constraints left (shouldn't happen for routed
+			// flows, every route has >= 1 link).
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		newUnfrozen := unfrozen[:0]
+		for _, f := range unfrozen {
+			crosses := false
+			for _, l := range f.route {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				newUnfrozen = append(newUnfrozen, f)
+				continue
+			}
+			frozen[f.ID] = true
+			f.rate = share
+			for _, l := range f.route {
+				states[l].residual -= share
+				if states[l].residual < 0 {
+					states[l].residual = 0
+				}
+			}
+		}
+		unfrozen = newUnfrozen
+	}
+
+	// Reschedule completion events at the new rates.
+	for _, f := range fs.flows {
+		if !f.active {
+			continue
+		}
+		if f.event != nil {
+			fs.sim.Cancel(f.event)
+			f.event = nil
+		}
+		if f.rate <= 0 || math.IsInf(f.rate, 1) {
+			continue
+		}
+		f := f
+		delay := f.remaining / f.rate
+		f.event = fs.sim.Schedule(delay, "flow/done", func() { fs.finish(f) })
+	}
+}

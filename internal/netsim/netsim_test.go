@@ -1,0 +1,389 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRouteSingleSwitch(t *testing.T) {
+	topo, hosts, err := SingleSwitch(4, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := topo.Route(hosts[0], hosts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 {
+		t.Fatalf("route length %d, want 2 (host-sw, sw-host)", len(route))
+	}
+	// Self route is empty.
+	route, err = topo.Route(hosts[1], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 0 {
+		t.Fatalf("self route has %d links, want 0", len(route))
+	}
+}
+
+func TestRouteTwoTier(t *testing.T) {
+	topo, hosts, tors, err := TwoTier(TwoTierConfig{
+		Racks: 3, HostsPerRack: 4, HostLinkCap: 125, UplinkCap: 1250, LinkLatency: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 12 || len(tors) != 3 {
+		t.Fatalf("got %d hosts, %d tors", len(hosts), len(tors))
+	}
+	// Same rack: 2 hops. Cross rack: 4 hops (host-tor-core-tor-host).
+	sameRack, err := topo.Route(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sameRack) != 2 {
+		t.Errorf("same-rack route %d links, want 2", len(sameRack))
+	}
+	crossRack, err := topo.Route(hosts[0], hosts[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossRack) != 4 {
+		t.Errorf("cross-rack route %d links, want 4", len(crossRack))
+	}
+	if got, want := RouteLatency(crossRack), 0.004; math.Abs(got-want) > 1e-12 {
+		t.Errorf("cross-rack latency %v, want %v", got, want)
+	}
+}
+
+func TestRouteAvoidsDownLinks(t *testing.T) {
+	topo := NewTopology()
+	a := topo.AddNode(Host, "a")
+	b := topo.AddNode(Host, "b")
+	s1 := topo.AddNode(Switch, "s1")
+	s2 := topo.AddNode(Switch, "s2")
+	// Two parallel paths a-s1-b and a-s2-b.
+	l1, err := topo.AddLink(a, s1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddLink(s1, b, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddLink(a, s2, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddLink(s2, b, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	topo.SetLinkUp(l1, false)
+	route, err := topo.Route(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range route {
+		if !l.Up() {
+			t.Fatal("route uses a down link")
+		}
+		if l == l1 {
+			t.Fatal("route uses the failed link")
+		}
+	}
+}
+
+func TestRouteUnreachable(t *testing.T) {
+	topo := NewTopology()
+	a := topo.AddNode(Host, "a")
+	b := topo.AddNode(Host, "b")
+	if _, err := topo.Route(a, b); err == nil {
+		t.Fatal("disconnected nodes produced a route")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	topo := NewTopology()
+	a := topo.AddNode(Host, "a")
+	if _, err := topo.AddLink(a, a, 100, 0); err == nil {
+		t.Error("self link accepted")
+	}
+	if _, err := topo.AddLink(a, NodeID(99), 100, 0); err == nil {
+		t.Error("link to missing node accepted")
+	}
+	b := topo.AddNode(Host, "b")
+	if _, err := topo.AddLink(a, b, 0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := topo.AddLink(a, b, 10, -1); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestSingleFlowFullBandwidth(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	var doneAt sim.Time = -1
+	if _, err := fs.Start(hosts[0], hosts[1], 500, func(*Flow) { doneAt = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// 500 MB at 100 MB/unit = 5 units.
+	if math.Abs(doneAt-5) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 5", doneAt)
+	}
+	if fs.Completed() != 1 || fs.BytesDelivered() != 500 {
+		t.Fatalf("completed=%d bytes=%v", fs.Completed(), fs.BytesDelivered())
+	}
+}
+
+func TestTwoFlowsShareBottleneck(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(3, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	var t1, t2 sim.Time = -1, -1
+	// Both flows target host 2: its access link is the shared bottleneck.
+	if _, err := fs.Start(hosts[0], hosts[2], 100, func(*Flow) { t1 = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Start(hosts[1], hosts[2], 100, func(*Flow) { t2 = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// Each gets 50 MB/unit while both active: both finish at t=2.
+	if math.Abs(t1-2) > 1e-9 || math.Abs(t2-2) > 1e-9 {
+		t.Fatalf("flows finished at %v, %v; want 2, 2", t1, t2)
+	}
+}
+
+func TestFlowSpeedsUpWhenCompetitorFinishes(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(3, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	var tBig sim.Time = -1
+	if _, err := fs.Start(hosts[0], hosts[2], 300, func(*Flow) { tBig = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Start(hosts[1], hosts[2], 100, func(*Flow) {}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// Shared 50/50 until small flow finishes at t=2 (100MB at 50), big has
+	// 200 left, then full 100 MB/unit: 2 more units. Total 4.
+	if math.Abs(tBig-4) > 1e-9 {
+		t.Fatalf("big flow finished at %v, want 4", tBig)
+	}
+}
+
+func TestMaxMinUnevenPaths(t *testing.T) {
+	// Flow A crosses a narrow uplink; flow B shares only the wide access
+	// link with A and should get the leftovers (max-min, not equal split).
+	s := sim.New(1)
+	topo, hosts, _, err := TwoTier(TwoTierConfig{
+		Racks: 2, HostsPerRack: 2, HostLinkCap: 100, UplinkCap: 30, LinkLatency: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	var tA, tB sim.Time = -1, -1
+	// A: cross-rack (bottleneck 30). B: same-rack to A's source host peer.
+	if _, err := fs.Start(hosts[0], hosts[2], 30, func(*Flow) { tA = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Start(hosts[1], hosts[0], 70, func(*Flow) { tB = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// A is limited to 30 by the uplink. B shares host-0's access link
+	// (100) with A: max-min gives B 70, A 30. Both finish at t=1.
+	if math.Abs(tA-1) > 1e-9 {
+		t.Errorf("flow A finished at %v, want 1", tA)
+	}
+	if math.Abs(tB-1) > 1e-9 {
+		t.Errorf("flow B finished at %v, want 1", tB)
+	}
+}
+
+func TestFlowLatencyDelaysStart(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(2, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	var doneAt sim.Time = -1
+	if _, err := fs.Start(hosts[0], hosts[1], 100, func(*Flow) { doneAt = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// Latency 2*0.5 = 1, then 1 unit of transfer.
+	if math.Abs(doneAt-2) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 2", doneAt)
+	}
+}
+
+func TestLinkFailureAbortsUnreroutableFlow(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	var failErr error
+	if _, err := fs.Start(hosts[0], hosts[1], 1000, nil, func(_ *Flow, err error) { failErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(1, "cut", func() {
+		topo.SetLinkUp(topo.Links()[0], false)
+		fs.OnLinkChange()
+	})
+	s.Run()
+	if failErr == nil {
+		t.Fatal("flow was not aborted by link failure")
+	}
+	if fs.Aborted() != 1 {
+		t.Fatalf("aborted = %d, want 1", fs.Aborted())
+	}
+}
+
+func TestLinkFailureReroutesWhenPossible(t *testing.T) {
+	s := sim.New(1)
+	topo := NewTopology()
+	a := topo.AddNode(Host, "a")
+	b := topo.AddNode(Host, "b")
+	s1 := topo.AddNode(Switch, "s1")
+	s2 := topo.AddNode(Switch, "s2")
+	l1, err := topo.AddLink(a, s1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]NodeID{{s1, b}, {a, s2}, {s2, b}} {
+		if _, err := topo.AddLink(pair[0], pair[1], 100, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := NewFlowSim(s, topo)
+	var doneAt sim.Time = -1
+	if _, err := fs.Start(a, b, 200, func(*Flow) { doneAt = s.Now() }, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(1, "cut", func() {
+		topo.SetLinkUp(l1, false)
+		fs.OnLinkChange()
+	})
+	s.Run()
+	// 100 MB delivered in unit 1, link cut, rerouted via s2, remaining
+	// 100 MB takes 1 more unit. Finish at 2.
+	if math.Abs(doneAt-2) > 1e-9 {
+		t.Fatalf("rerouted flow finished at %v, want 2", doneAt)
+	}
+	if fs.Aborted() != 0 {
+		t.Fatalf("aborted = %d, want 0", fs.Aborted())
+	}
+}
+
+func TestLocalFlowCompletesImmediately(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	done := false
+	if _, err := fs.Start(hosts[0], hosts[0], 500, func(*Flow) { done = true }, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !done {
+		t.Fatal("local flow did not complete")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("local flow took %v time units, want 0", s.Now())
+	}
+}
+
+func TestFlowCancel(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	called := false
+	f, err := fs.Start(hosts[0], hosts[1], 500, func(*Flow) { called = true }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(1, "cancel", func() { fs.Cancel(f) })
+	s.Run()
+	if called {
+		t.Fatal("cancelled flow invoked done callback")
+	}
+	if fs.Active() != 0 {
+		t.Fatalf("active = %d after cancel", fs.Active())
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	s := sim.New(1)
+	topo, hosts, err := SingleSwitch(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	if _, err := fs.Start(hosts[0], hosts[1], 0, nil, nil); err == nil {
+		t.Error("zero-size flow accepted")
+	}
+	if _, err := fs.Start(hosts[0], hosts[1], -5, nil, nil); err == nil {
+		t.Error("negative-size flow accepted")
+	}
+}
+
+func TestManyFlowsConservation(t *testing.T) {
+	// All started flows eventually complete, and delivered bytes match.
+	s := sim.New(9)
+	topo, hosts, _, err := TwoTier(TwoTierConfig{
+		Racks: 3, HostsPerRack: 3, HostLinkCap: 125, UplinkCap: 500, LinkLatency: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFlowSim(s, topo)
+	r := s.Stream("traffic")
+	total := 0.0
+	const n = 200
+	for i := 0; i < n; i++ {
+		src := hosts[r.Intn(len(hosts))]
+		dst := hosts[r.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[r.Intn(len(hosts))]
+		}
+		size := 1 + 99*r.Float64()
+		total += size
+		delay := 10 * r.Float64()
+		s.Schedule(delay, "start-flow", func() {
+			if _, err := fs.Start(src, dst, size, nil, nil); err != nil {
+				t.Errorf("flow start failed: %v", err)
+			}
+		})
+	}
+	s.Run()
+	if fs.Completed() != n {
+		t.Fatalf("completed %d of %d flows", fs.Completed(), n)
+	}
+	if math.Abs(fs.BytesDelivered()-total) > 1e-6*total {
+		t.Fatalf("delivered %v MB, want %v", fs.BytesDelivered(), total)
+	}
+}

@@ -1,0 +1,256 @@
+// Package netsim is the flow-level network substrate of the wind tunnel.
+//
+// Repair traffic, replica transfers and workload shuffles all move bytes
+// across a shared topology; the paper's motivating trade-off (§1: can a
+// faster network make n-1 replicas as available as n?) and its
+// parallelization argument (§4.2: a transfer only affects the two nodes,
+// the two disks and the switch on its path) both require a network model
+// with explicit links and bandwidth contention.
+//
+// Transfers are modelled as fluid flows: each active flow receives its
+// max–min fair share of every link on its route, recomputed whenever a
+// flow starts, finishes or a link changes state. This is the standard
+// flow-level approximation used by datacenter simulators.
+package netsim
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a vertex (host or switch) in the topology.
+type NodeID int
+
+// NodeKind distinguishes hosts from switches.
+type NodeKind int
+
+const (
+	Host NodeKind = iota
+	Switch
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Link is an undirected edge with a capacity (MB per simulated time unit;
+// the caller fixes the unit) and a propagation latency in time units.
+type Link struct {
+	ID       int
+	A, B     NodeID
+	Capacity float64
+	Latency  float64
+	up       bool
+}
+
+// Up reports whether the link is operational.
+func (l *Link) Up() bool { return l.up }
+
+// other returns the far endpoint of l from n.
+func (l *Link) other(n NodeID) NodeID {
+	if l.A == n {
+		return l.B
+	}
+	return l.A
+}
+
+// Topology is an undirected graph of hosts and switches.
+type Topology struct {
+	kinds   []NodeKind
+	names   []string
+	links   []*Link
+	adj     [][]*Link
+	version uint64 // bumped on link state change to invalidate route caches
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology { return &Topology{} }
+
+// AddNode adds a vertex and returns its id.
+func (t *Topology) AddNode(kind NodeKind, name string) NodeID {
+	id := NodeID(len(t.kinds))
+	t.kinds = append(t.kinds, kind)
+	t.names = append(t.names, name)
+	t.adj = append(t.adj, nil)
+	return id
+}
+
+// AddLink connects a and b with the given capacity (> 0) and latency
+// (>= 0), returning the link.
+func (t *Topology) AddLink(a, b NodeID, capacity, latency float64) (*Link, error) {
+	if err := t.checkNode(a); err != nil {
+		return nil, err
+	}
+	if err := t.checkNode(b); err != nil {
+		return nil, err
+	}
+	if a == b {
+		return nil, fmt.Errorf("netsim: self-link on node %d", a)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("netsim: link capacity must be > 0, got %v", capacity)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("netsim: link latency must be >= 0, got %v", latency)
+	}
+	l := &Link{ID: len(t.links), A: a, B: b, Capacity: capacity, Latency: latency, up: true}
+	t.links = append(t.links, l)
+	t.adj[a] = append(t.adj[a], l)
+	t.adj[b] = append(t.adj[b], l)
+	t.version++
+	return l, nil
+}
+
+func (t *Topology) checkNode(n NodeID) error {
+	if n < 0 || int(n) >= len(t.kinds) {
+		return fmt.Errorf("netsim: node %d does not exist", n)
+	}
+	return nil
+}
+
+// Nodes returns the number of vertices.
+func (t *Topology) Nodes() int { return len(t.kinds) }
+
+// Links returns all links.
+func (t *Topology) Links() []*Link { return t.links }
+
+// Kind returns the vertex kind.
+func (t *Topology) Kind(n NodeID) NodeKind { return t.kinds[n] }
+
+// Name returns the vertex name.
+func (t *Topology) Name(n NodeID) string { return t.names[n] }
+
+// SetLinkUp changes a link's operational state.
+func (t *Topology) SetLinkUp(l *Link, up bool) {
+	if l.up != up {
+		l.up = up
+		t.version++
+	}
+}
+
+// Version returns the topology's state version (bumped on any change).
+func (t *Topology) Version() uint64 { return t.version }
+
+// Route returns a minimum-hop path of links from src to dst over
+// operational links, or an error if dst is unreachable. src == dst yields
+// an empty route.
+func (t *Topology) Route(src, dst NodeID) ([]*Link, error) {
+	if err := t.checkNode(src); err != nil {
+		return nil, err
+	}
+	if err := t.checkNode(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, nil
+	}
+	// BFS.
+	prev := make([]*Link, len(t.kinds))
+	visited := make([]bool, len(t.kinds))
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range t.adj[n] {
+			if !l.up {
+				continue
+			}
+			m := l.other(n)
+			if visited[m] {
+				continue
+			}
+			visited[m] = true
+			prev[m] = l
+			if m == dst {
+				// Reconstruct.
+				var path []*Link
+				cur := dst
+				for cur != src {
+					pl := prev[cur]
+					path = append(path, pl)
+					cur = pl.other(cur)
+				}
+				// Reverse into src->dst order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil, fmt.Errorf("netsim: no route from %s to %s", t.names[src], t.names[dst])
+}
+
+// RouteLatency sums the latency along a route.
+func RouteLatency(route []*Link) float64 {
+	sum := 0.0
+	for _, l := range route {
+		sum += l.Latency
+	}
+	return sum
+}
+
+// TwoTierConfig describes a classic rack/ToR/core topology.
+type TwoTierConfig struct {
+	Racks        int
+	HostsPerRack int
+	HostLinkCap  float64 // host <-> ToR capacity
+	UplinkCap    float64 // ToR <-> core capacity
+	LinkLatency  float64
+}
+
+// TwoTier builds a two-tier tree: hosts connect to their rack's ToR
+// switch, and every ToR connects to a single core switch. It returns the
+// topology, host ids in rack-major order, and the ToR switch ids.
+func TwoTier(cfg TwoTierConfig) (*Topology, []NodeID, []NodeID, error) {
+	if cfg.Racks < 1 || cfg.HostsPerRack < 1 {
+		return nil, nil, nil, fmt.Errorf("netsim: two-tier needs >= 1 rack and host, got %d racks x %d hosts",
+			cfg.Racks, cfg.HostsPerRack)
+	}
+	if cfg.HostLinkCap <= 0 || cfg.UplinkCap <= 0 {
+		return nil, nil, nil, fmt.Errorf("netsim: two-tier capacities must be > 0")
+	}
+	t := NewTopology()
+	core := t.AddNode(Switch, "core")
+	hosts := make([]NodeID, 0, cfg.Racks*cfg.HostsPerRack)
+	tors := make([]NodeID, 0, cfg.Racks)
+	for r := 0; r < cfg.Racks; r++ {
+		tor := t.AddNode(Switch, fmt.Sprintf("tor-%d", r))
+		tors = append(tors, tor)
+		if _, err := t.AddLink(tor, core, cfg.UplinkCap, cfg.LinkLatency); err != nil {
+			return nil, nil, nil, err
+		}
+		for h := 0; h < cfg.HostsPerRack; h++ {
+			host := t.AddNode(Host, fmt.Sprintf("host-%d-%d", r, h))
+			hosts = append(hosts, host)
+			if _, err := t.AddLink(host, tor, cfg.HostLinkCap, cfg.LinkLatency); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	return t, hosts, tors, nil
+}
+
+// SingleSwitch builds a star topology with n hosts around one switch.
+func SingleSwitch(n int, linkCap, latency float64) (*Topology, []NodeID, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("netsim: single-switch needs >= 1 host, got %d", n)
+	}
+	if linkCap <= 0 {
+		return nil, nil, fmt.Errorf("netsim: link capacity must be > 0")
+	}
+	t := NewTopology()
+	sw := t.AddNode(Switch, "sw")
+	hosts := make([]NodeID, n)
+	for i := range hosts {
+		hosts[i] = t.AddNode(Host, fmt.Sprintf("host-%d", i))
+		if _, err := t.AddLink(hosts[i], sw, linkCap, latency); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, hosts, nil
+}

@@ -1,0 +1,185 @@
+// Package results manages the wind tunnel's output data (§4.4 of the
+// paper): every simulation run is recorded with its configuration,
+// metrics and verdicts; the store persists to JSON; and a configuration-
+// similarity search answers the paper's "have I already explored a
+// scenario similar to this one?" question.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Record is one stored simulation run.
+type Record struct {
+	ID       int                `json:"id"`
+	Scenario string             `json:"scenario"`
+	Config   map[string]string  `json:"config"` // dimension -> value
+	Metrics  map[string]float64 `json:"metrics"`
+	Seed     uint64             `json:"seed"`
+	Trials   int                `json:"trials"`
+	AllMet   bool               `json:"all_met"`
+}
+
+// Store is an in-memory run archive with JSON persistence.
+type Store struct {
+	records []Record
+	nextID  int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add records a run and returns its id.
+func (s *Store) Add(r Record) (int, error) {
+	if r.Scenario == "" {
+		return 0, fmt.Errorf("results: record needs a scenario name")
+	}
+	r.ID = s.nextID
+	s.nextID++
+	s.records = append(s.records, r)
+	return r.ID, nil
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.records) }
+
+// Get returns record id.
+func (s *Store) Get(id int) (Record, error) {
+	for _, r := range s.records {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Record{}, fmt.Errorf("results: no record %d", id)
+}
+
+// All returns a copy of all records.
+func (s *Store) All() []Record {
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Filter returns records whose config matches every key/value in match.
+func (s *Store) Filter(match map[string]string) []Record {
+	var out []Record
+	for _, r := range s.records {
+		ok := true
+		for k, v := range match {
+			if r.Config[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Save writes the store to path as JSON.
+func (s *Store) Save(path string) error {
+	data, err := json.MarshalIndent(s.records, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("results: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a store from path.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: load: %w", err)
+	}
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("results: parse: %w", err)
+	}
+	st := &Store{records: records}
+	for _, r := range records {
+		if r.ID >= st.nextID {
+			st.nextID = r.ID + 1
+		}
+	}
+	return st, nil
+}
+
+// Neighbor is a similarity result.
+type Neighbor struct {
+	Record   Record
+	Distance float64
+}
+
+// NearestK returns the k stored records most similar to config, ordered
+// by ascending distance. Distance per key: numeric values use relative
+// difference |a-b|/max(|a|,|b|); non-numeric use 0/1 mismatch; keys
+// missing from either side count 1. The sum is normalized by key count.
+func (s *Store) NearestK(config map[string]string, k int) []Neighbor {
+	if k < 1 {
+		return nil
+	}
+	neighbors := make([]Neighbor, 0, len(s.records))
+	for _, r := range s.records {
+		neighbors = append(neighbors, Neighbor{Record: r, Distance: distance(config, r.Config)})
+	}
+	sort.SliceStable(neighbors, func(i, j int) bool {
+		return neighbors[i].Distance < neighbors[j].Distance
+	})
+	if len(neighbors) > k {
+		neighbors = neighbors[:k]
+	}
+	return neighbors
+}
+
+// distance computes the normalized config distance.
+func distance(a, b map[string]string) float64 {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	total := 0.0
+	for k := range keys {
+		av, aok := a[k]
+		bv, bok := b[k]
+		switch {
+		case !aok || !bok:
+			total++
+		case av == bv:
+			// zero
+		default:
+			af, aerr := strconv.ParseFloat(av, 64)
+			bf, berr := strconv.ParseFloat(bv, 64)
+			if aerr == nil && berr == nil {
+				denom := math.Max(math.Abs(af), math.Abs(bf))
+				if denom == 0 {
+					total++
+				} else {
+					d := math.Abs(af-bf) / denom
+					if d > 1 {
+						d = 1
+					}
+					total += d
+				}
+			} else {
+				total++
+			}
+		}
+	}
+	return total / float64(len(keys))
+}

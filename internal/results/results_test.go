@@ -1,0 +1,142 @@
+package results
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func record(scenario string, cfg map[string]string) Record {
+	return Record{
+		Scenario: scenario,
+		Config:   cfg,
+		Metrics:  map[string]float64{"availability": 0.999},
+		Trials:   10,
+	}
+}
+
+func TestAddGetFilter(t *testing.T) {
+	s := NewStore()
+	id1, err := s.Add(record("a", map[string]string{"net": "10g", "n": "3"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Add(record("b", map[string]string{"net": "1g", "n": "3"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("duplicate ids")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	r, err := s.Get(id1)
+	if err != nil || r.Scenario != "a" {
+		t.Fatalf("Get(%d) = %v, %v", id1, r, err)
+	}
+	if _, err := s.Get(999); err == nil {
+		t.Error("missing id returned")
+	}
+	got := s.Filter(map[string]string{"n": "3"})
+	if len(got) != 2 {
+		t.Errorf("filter n=3 returned %d, want 2", len(got))
+	}
+	got = s.Filter(map[string]string{"net": "1g"})
+	if len(got) != 1 || got[0].Scenario != "b" {
+		t.Errorf("filter net=1g returned %v", got)
+	}
+	if _, err := s.Add(Record{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Add(record("x", map[string]string{"k": "v"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(record("y", map[string]string{"k": "w"})); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "runs.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d records, want 2", loaded.Len())
+	}
+	r, err := loaded.Get(1)
+	if err != nil || r.Scenario != "y" {
+		t.Fatalf("loaded record 1 = %v, %v", r, err)
+	}
+	// IDs continue after load.
+	id, err := loaded.Add(record("z", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("next id = %d, want 2", id)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestNearestKOrdersBySimilarity(t *testing.T) {
+	s := NewStore()
+	for _, cfg := range []map[string]string{
+		{"nodes": "10", "replicas": "3", "placement": "random"},
+		{"nodes": "30", "replicas": "3", "placement": "random"},
+		{"nodes": "10", "replicas": "5", "placement": "roundrobin"},
+	} {
+		if _, err := s.Add(record("r", cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := map[string]string{"nodes": "11", "replicas": "3", "placement": "random"}
+	nn := s.NearestK(q, 2)
+	if len(nn) != 2 {
+		t.Fatalf("got %d neighbors, want 2", len(nn))
+	}
+	// Closest must be the nodes=10 random/3 config (tiny numeric delta).
+	if nn[0].Record.Config["nodes"] != "10" || nn[0].Record.Config["placement"] != "random" ||
+		nn[0].Record.Config["replicas"] != "3" {
+		t.Errorf("nearest = %v", nn[0].Record.Config)
+	}
+	if nn[0].Distance >= nn[1].Distance {
+		t.Errorf("distances not ordered: %v >= %v", nn[0].Distance, nn[1].Distance)
+	}
+	// Exact match has distance ~0.
+	exact := s.NearestK(map[string]string{"nodes": "10", "replicas": "3", "placement": "random"}, 1)
+	if exact[0].Distance > 1e-12 {
+		t.Errorf("exact match distance = %v", exact[0].Distance)
+	}
+	if s.NearestK(q, 0) != nil {
+		t.Error("k=0 returned results")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := map[string]string{"x": "1", "y": "foo"}
+	if d := distance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	b := map[string]string{"x": "1"}
+	if d := distance(a, b); d <= 0 || d > 1 {
+		t.Errorf("missing-key distance = %v, want in (0,1]", d)
+	}
+	// Numeric distance is relative.
+	c1 := map[string]string{"x": "100"}
+	c2 := map[string]string{"x": "110"}
+	c3 := map[string]string{"x": "200"}
+	if !(distance(c1, c2) < distance(c1, c3)) {
+		t.Error("numeric distances not ordered")
+	}
+	if d := distance(nil, nil); d != 0 {
+		t.Errorf("empty distance = %v", d)
+	}
+}

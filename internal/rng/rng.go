@@ -1,0 +1,211 @@
+// Package rng provides a deterministic, seedable pseudo-random number
+// source with named sub-stream derivation.
+//
+// The wind tunnel requires reproducible simulations: the same seed must
+// produce the same event trajectory regardless of map iteration order or
+// scheduling. Every model owns its own derived stream so that adding a new
+// model does not perturb the draws seen by existing models (a property the
+// paper's extensibility argument in §4.1 depends on).
+//
+// The generator is xoshiro256** seeded through SplitMix64, both public
+// domain algorithms by Blackman and Vigna. Only the standard library is
+// used.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source. It is not safe for
+// concurrent use; derive one Source per goroutine with Derive.
+type Source struct {
+	s [4]uint64
+
+	// cached second normal variate from the polar method.
+	hasNorm bool
+	norm    float64
+}
+
+// splitmix64 advances the seed expander and returns the next value.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give statistically
+// independent streams.
+func New(seed uint64) *Source {
+	var r Source
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// OpenFloat64 returns a uniform value in the open interval (0, 1),
+// suitable for inverse-transform sampling where log(0) must be avoided.
+func (r *Source) OpenFloat64() float64 {
+	for {
+		v := r.Float64()
+		if v != 0 {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bHi
+	u := aHi * bLo
+	lo = a * b
+	carry := ((aLo*bLo)>>32 + t&mask + u&mask) >> 32
+	hi = aHi*bHi + t>>32 + u>>32 + carry
+	return hi, lo
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Source) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap (Fisher–Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in
+// selection order. It panics if k > n or k < 0.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample with k out of range")
+	}
+	// Partial Fisher–Yates over a sparse map: O(k) time and space even
+	// for large n, which matters when sampling replica targets from big
+	// clusters.
+	swapped := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swapped[j] = vi
+	}
+	return out
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method, caching the paired value.
+func (r *Source) NormFloat64() float64 {
+	if r.hasNorm {
+		r.hasNorm = false
+		return r.norm
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.norm = v * f
+		r.hasNorm = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Source) ExpFloat64() float64 {
+	return -math.Log(r.OpenFloat64())
+}
+
+// fnv1a hashes s with 64-bit FNV-1a.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Derive returns a new Source whose state is a deterministic function of
+// the receiver's current state and name. Distinct names yield independent
+// streams; deriving does not advance the parent stream, so the set of
+// derived streams is stable under insertion of new names.
+func (r *Source) Derive(name string) *Source {
+	x := r.s[0] ^ rotl(r.s[2], 13) ^ fnv1a(name)
+	return New(x)
+}
+
+// Fork returns a new independent Source, advancing the receiver.
+func (r *Source) Fork() *Source {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}

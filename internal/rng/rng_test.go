@@ -1,0 +1,242 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("Perm covered %d elements, want 50", len(seen))
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(13)
+	f := func(seed uint64) bool {
+		rr := New(seed)
+		n := 1 + rr.Intn(200)
+		k := rr.Intn(n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleUniformCoverage(t *testing.T) {
+	// Each element should appear in Sample(10, 3) with probability 3/10.
+	r := New(21)
+	const draws = 60000
+	counts := make([]int, 10)
+	for i := 0; i < draws; i++ {
+		for _, v := range r.Sample(10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(draws) * 0.3
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d chosen %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 300000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(19)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(42)
+	a := root.Derive("disk-failures")
+	b := root.Derive("network")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived streams with different names produced same first draw")
+	}
+	// Derivation must be stable: same name twice gives the same stream.
+	c := root.Derive("disk-failures")
+	a2 := New(42).Derive("disk-failures")
+	_ = a2.Uint64() // consumed one above for a; align by fresh source
+	c1, a21 := c.Uint64(), New(42).Derive("disk-failures").Uint64()
+	if c1 != a21 {
+		t.Fatal("Derive is not a pure function of (state, name)")
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(42), New(42)
+	a.Derive("x")
+	a.Derive("y")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Derive advanced the parent stream")
+	}
+}
+
+func TestForkAdvancesParent(t *testing.T) {
+	a := New(42)
+	f1 := a.Fork()
+	f2 := a.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("successive forks produced identical streams")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed the multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,251 @@
+// Package sim is the discrete-event simulation engine at the heart of the
+// wind tunnel (§2.3 of the paper). It provides a virtual clock, an event
+// calendar (binary heap keyed by time with FIFO tie-breaking), cancellable
+// events, named deterministic random streams, an early-abort mechanism
+// (§4.2: "abort a simulation run before it completes, if it is clear ...
+// that the design constraint will not be met"), and event tracing.
+//
+// Time is a float64 in model units; the packages above use hours for
+// failure processes and seconds for request-level processes — each
+// Scenario picks one unit and sticks to it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Time is a point in simulated time. The unit is chosen by the model.
+type Time = float64
+
+// Event is a scheduled callback. It is returned by Schedule/At so callers
+// can Cancel it.
+type Event struct {
+	time    Time
+	seq     uint64
+	name    string
+	fn      func()
+	index   int // heap index; -1 when not queued
+	cancel  bool
+	created Time
+}
+
+// Time returns the scheduled firing time.
+func (e *Event) Time() Time { return e.time }
+
+// Name returns the event's diagnostic label.
+func (e *Event) Name() string { return e.name }
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Tracer receives every executed event when tracing is enabled.
+type Tracer func(t Time, name string)
+
+// Simulator is a sequential discrete-event simulator. It is not safe for
+// concurrent use; the wind tunnel parallelizes across runs, not within one
+// (§4.2's intra-run parallelism is planned via the interaction graph in
+// internal/core, which schedules independent runs concurrently).
+type Simulator struct {
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	executed uint64
+	stopped  bool
+	root     *rng.Source
+	tracer   Tracer
+	// abortCheck, when set, is consulted every abortEvery events; a true
+	// return stops the run (early abort, §4.2).
+	abortCheck func() bool
+	abortEvery uint64
+	aborted    bool
+}
+
+// New returns a Simulator whose random streams derive from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{root: rng.New(seed), abortEvery: 1024}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Aborted reports whether the last run was stopped by the abort check.
+func (s *Simulator) Aborted() bool { return s.aborted }
+
+// Stream returns the deterministic random stream for name. Distinct names
+// give independent streams, and the mapping is stable across runs with the
+// same seed regardless of call order.
+func (s *Simulator) Stream(name string) *rng.Source { return s.root.Derive(name) }
+
+// SetTracer installs fn as the event tracer (nil disables tracing).
+func (s *Simulator) SetTracer(fn Tracer) { s.tracer = fn }
+
+// SetAbortCheck installs an early-abort predicate evaluated every `every`
+// executed events. When it returns true the run stops and Aborted()
+// reports true.
+func (s *Simulator) SetAbortCheck(fn func() bool, every uint64) {
+	if every == 0 {
+		every = 1
+	}
+	s.abortCheck = fn
+	s.abortEvery = every
+}
+
+// Schedule enqueues fn to run after delay (>= 0) and returns the event.
+func (s *Simulator) Schedule(delay Time, name string, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v for event %q at t=%v", delay, name, s.now))
+	}
+	return s.At(s.now+delay, name, fn)
+}
+
+// At enqueues fn to run at absolute time t (>= Now) and returns the event.
+func (s *Simulator) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event %q in the past: %v < now %v", name, t, s.now))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("sim: nil callback for event %q", name))
+	}
+	e := &Event{time: t, seq: s.seq, name: name, fn: fn, created: s.now}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Reschedule cancels e and schedules a fresh event with the same name and
+// callback after delay, returning the new event.
+func (s *Simulator) Reschedule(e *Event, delay Time) *Event {
+	s.Cancel(e)
+	return s.Schedule(delay, e.name, e.fn)
+}
+
+// Step executes the next event. It returns false when the calendar is
+// empty or the simulator has been stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.cancel {
+		return len(s.queue) > 0
+	}
+	if e.time < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: event %q at %v < now %v", e.name, e.time, s.now))
+	}
+	s.now = e.time
+	s.executed++
+	if s.tracer != nil {
+		s.tracer(s.now, e.name)
+	}
+	e.fn()
+	if s.abortCheck != nil && s.executed%s.abortEvery == 0 && s.abortCheck() {
+		s.aborted = true
+		s.stopped = true
+	}
+	return !s.stopped
+}
+
+// Run executes events until the calendar drains or Stop is called.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= horizon, leaves later events
+// queued, and advances the clock to exactly horizon.
+func (s *Simulator) RunUntil(horizon Time) {
+	if horizon < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", horizon, s.now))
+	}
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
+		if !s.Step() {
+			break
+		}
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Stop halts the run; subsequent Step calls return false.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop was called (or an abort fired).
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// Every schedules fn at t0, t0+period, t0+2*period, ... until the
+// returned stop function is called or the simulator stops. fn receives
+// the firing time.
+func (s *Simulator) Every(t0 Time, period Time, name string, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every requires positive period, got %v", period))
+	}
+	stopped := false
+	var schedule func(at Time)
+	var current *Event
+	schedule = func(at Time) {
+		current = s.At(at, name, func() {
+			if stopped {
+				return
+			}
+			fn(s.now)
+			if !stopped {
+				schedule(s.now + period)
+			}
+		})
+	}
+	schedule(t0)
+	return func() {
+		stopped = true
+		s.Cancel(current)
+	}
+}

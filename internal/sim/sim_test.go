@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, d := range []Time{5, 1, 3, 2, 4} {
+		d := d
+		s.Schedule(d, "e", func() { fired = append(fired, s.Now()) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if s.Now() != 5 {
+		t.Fatalf("final time %v, want 5", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, "tie", func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.Schedule(1, "x", func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double cancel is a no-op.
+	s.Cancel(e)
+	if s.Executed() != 0 {
+		t.Fatalf("executed %d, want 0", s.Executed())
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New(1)
+	ran := false
+	var target *Event
+	s.Schedule(1, "canceller", func() { s.Cancel(target) })
+	target = s.Schedule(2, "target", func() { ran = true })
+	s.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	s := New(1)
+	var at Time
+	e := s.Schedule(1, "r", func() { at = s.Now() })
+	s.Reschedule(e, 5)
+	s.Run()
+	if at != 5 {
+		t.Fatalf("rescheduled event fired at %v, want 5", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.Schedule(1, "chain", recurse)
+		}
+	}
+	s.Schedule(0, "chain", recurse)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("chain depth %d, want 100", depth)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("final time %v, want 99", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Time(i), "e", func() { count++ })
+	}
+	s.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("executed %d events by t=5.5, want 5", count)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock %v, want exactly 5.5", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", s.Pending())
+	}
+	s.RunUntil(100)
+	if count != 10 {
+		t.Fatalf("executed %d total, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Time(i), "e", func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("executed %d, want 3 (stopped)", count)
+	}
+	if !s.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	New(1).Schedule(-1, "bad", func() {})
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(5, "later", func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on past-time At")
+		}
+	}()
+	s.At(1, "past", func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []Time {
+		s := New(seed)
+		r := s.Stream("arrivals")
+		var times []Time
+		var arrive func()
+		n := 0
+		arrive = func() {
+			times = append(times, s.Now())
+			n++
+			if n < 50 {
+				s.Schedule(r.ExpFloat64(), "arrive", arrive)
+			}
+		}
+		s.Schedule(0, "arrive", arrive)
+		s.Run()
+		return times
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestEarlyAbort(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10000; i++ {
+		s.Schedule(Time(i), "e", func() { count++ })
+	}
+	s.SetAbortCheck(func() bool { return count >= 2000 }, 100)
+	s.Run()
+	if !s.Aborted() {
+		t.Fatal("run was not aborted")
+	}
+	if count < 2000 || count >= 2200 {
+		t.Fatalf("aborted after %d events, want shortly after 2000", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	var fires []Time
+	var stop func()
+	stop = s.Every(1, 2, "tick", func(at Time) {
+		fires = append(fires, at)
+		if len(fires) == 4 {
+			stop()
+		}
+	})
+	s.Run()
+	want := []Time{1, 3, 5, 7}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTracer(t *testing.T) {
+	s := New(1)
+	var names []string
+	s.SetTracer(func(_ Time, name string) { names = append(names, name) })
+	s.Schedule(1, "a", func() {})
+	s.Schedule(2, "b", func() {})
+	s.Run()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("trace %v, want [a b]", names)
+	}
+}
+
+func TestHeapPropertyRandomOrder(t *testing.T) {
+	f := func(delays []float64) bool {
+		s := New(7)
+		valid := make([]float64, 0, len(delays))
+		for _, d := range delays {
+			if d >= 0 && !math.IsNaN(d) && !math.IsInf(d, 0) && d < 1e12 {
+				valid = append(valid, d)
+			}
+		}
+		var fired []Time
+		for _, d := range valid {
+			s.Schedule(d, "e", func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == len(valid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamStability(t *testing.T) {
+	// The stream for a name must not depend on other streams having been
+	// requested first (model-extensibility requirement).
+	s1 := New(9)
+	_ = s1.Stream("other")
+	a := s1.Stream("disk").Uint64()
+	s2 := New(9)
+	b := s2.Stream("disk").Uint64()
+	if a != b {
+		t.Fatal("stream depends on request order")
+	}
+}

@@ -1,0 +1,261 @@
+// Package sla defines Service-Level Agreements — the user-facing
+// requirements the paper puts at the center of data center design (§1,
+// §3) — and evaluates them against simulation results.
+//
+// Three families are modelled: availability (fraction of time data is
+// reachable), durability (probability of permanent loss), and performance
+// (latency percentile bounds). An SLA can also be expressed as a
+// distribution over tenants ("95% of tenants must see p95 below 100 ms"),
+// the richer declarative form §4.1 calls for.
+package sla
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Verdict is the outcome of checking one SLA against observations.
+type Verdict struct {
+	SLA      string  // description of the SLA checked
+	Met      bool    // whether the target was met
+	Observed float64 // the measured value
+	Target   float64 // the required value
+	Margin   float64 // how far the observation is inside (+) or outside (-) the target
+}
+
+func (v Verdict) String() string {
+	status := "MET"
+	if !v.Met {
+		status = "VIOLATED"
+	}
+	return fmt.Sprintf("%s: %s (observed %.6g, target %.6g, margin %+.3g)",
+		v.SLA, status, v.Observed, v.Target, v.Margin)
+}
+
+// SLA is a checkable service-level agreement.
+type SLA interface {
+	// Name describes the SLA.
+	Name() string
+	// Check evaluates the SLA against a result set.
+	Check(r Result) (Verdict, error)
+}
+
+// Result is the metric view SLAs evaluate against. Implementations are
+// provided by the wind tunnel core; tests can use MapResult.
+type Result interface {
+	// Metric returns a scalar metric by name, or an error if absent.
+	Metric(name string) (float64, error)
+	// LatencySample returns the latency sample for a workload ("" =
+	// default), or nil if none was collected.
+	LatencySample(workload string) *stats.Sample
+}
+
+// MapResult is a simple Result backed by a map (used in tests and by the
+// analytic paths).
+type MapResult struct {
+	Metrics   map[string]float64
+	Latencies map[string]*stats.Sample
+}
+
+// Metric implements Result.
+func (m MapResult) Metric(name string) (float64, error) {
+	v, ok := m.Metrics[name]
+	if !ok {
+		return 0, fmt.Errorf("sla: metric %q not present in result", name)
+	}
+	return v, nil
+}
+
+// LatencySample implements Result.
+func (m MapResult) LatencySample(workload string) *stats.Sample {
+	return m.Latencies[workload]
+}
+
+// Availability requires a minimum availability level (e.g. 0.999) on a
+// named availability metric.
+type Availability struct {
+	// MetricName is the result metric holding availability in [0,1];
+	// defaults to "availability".
+	MetricName string
+	Min        float64
+}
+
+// NewAvailability validates and constructs the SLA.
+func NewAvailability(min float64) (Availability, error) {
+	if min <= 0 || min > 1 {
+		return Availability{}, fmt.Errorf("sla: availability target %v outside (0, 1]", min)
+	}
+	return Availability{Min: min}, nil
+}
+
+func (a Availability) metric() string {
+	if a.MetricName != "" {
+		return a.MetricName
+	}
+	return "availability"
+}
+
+// Name implements SLA.
+func (a Availability) Name() string {
+	return fmt.Sprintf("availability >= %v", a.Min)
+}
+
+// Check implements SLA.
+func (a Availability) Check(r Result) (Verdict, error) {
+	obs, err := r.Metric(a.metric())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		SLA: a.Name(), Met: obs >= a.Min,
+		Observed: obs, Target: a.Min, Margin: obs - a.Min,
+	}, nil
+}
+
+// Durability requires the probability of data loss to stay below Max
+// (e.g. 1e-9 for "nine nines" durability), read from the "loss_prob"
+// metric.
+type Durability struct {
+	MetricName string // defaults to "loss_prob"
+	Max        float64
+}
+
+// NewDurability validates and constructs the SLA.
+func NewDurability(max float64) (Durability, error) {
+	if max < 0 || max >= 1 {
+		return Durability{}, fmt.Errorf("sla: durability loss bound %v outside [0, 1)", max)
+	}
+	return Durability{Max: max}, nil
+}
+
+func (d Durability) metric() string {
+	if d.MetricName != "" {
+		return d.MetricName
+	}
+	return "loss_prob"
+}
+
+// Name implements SLA.
+func (d Durability) Name() string {
+	return fmt.Sprintf("loss probability <= %v", d.Max)
+}
+
+// Check implements SLA.
+func (d Durability) Check(r Result) (Verdict, error) {
+	obs, err := r.Metric(d.metric())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		SLA: d.Name(), Met: obs <= d.Max,
+		Observed: obs, Target: d.Max, Margin: d.Max - obs,
+	}, nil
+}
+
+// Latency bounds a latency percentile: "p95 <= 0.1s".
+type Latency struct {
+	Workload   string  // latency sample to check ("" = default)
+	Percentile float64 // in (0, 1], e.g. 0.95
+	Max        float64 // seconds
+}
+
+// NewLatency validates and constructs the SLA.
+func NewLatency(workload string, percentile, max float64) (Latency, error) {
+	if percentile <= 0 || percentile > 1 {
+		return Latency{}, fmt.Errorf("sla: percentile %v outside (0, 1]", percentile)
+	}
+	if max <= 0 {
+		return Latency{}, fmt.Errorf("sla: latency bound %v must be positive", max)
+	}
+	return Latency{Workload: workload, Percentile: percentile, Max: max}, nil
+}
+
+// Name implements SLA.
+func (l Latency) Name() string {
+	return fmt.Sprintf("p%g(%s) <= %gs", l.Percentile*100, l.workloadName(), l.Max)
+}
+
+func (l Latency) workloadName() string {
+	if l.Workload == "" {
+		return "default"
+	}
+	return l.Workload
+}
+
+// Check implements SLA.
+func (l Latency) Check(r Result) (Verdict, error) {
+	s := r.LatencySample(l.Workload)
+	if s == nil || s.N() == 0 {
+		return Verdict{}, fmt.Errorf("sla: no latency sample for workload %q", l.workloadName())
+	}
+	obs := s.Quantile(l.Percentile)
+	return Verdict{
+		SLA: l.Name(), Met: obs <= l.Max,
+		Observed: obs, Target: l.Max, Margin: l.Max - obs,
+	}, nil
+}
+
+// TenantDistribution is an SLA expressed as a distribution over tenants
+// (§4.1: "the user may need to specify a required SLA as a distribution"):
+// at least Fraction of per-tenant values must satisfy the inner predicate
+// direction against Threshold.
+type TenantDistribution struct {
+	Description string
+	// Values extracts per-tenant observations from the result.
+	Values func(r Result) ([]float64, error)
+	// AtLeast: value >= Threshold counts as satisfied when true, value <=
+	// Threshold when false.
+	AtLeast   bool
+	Threshold float64
+	Fraction  float64 // required satisfied fraction in (0, 1]
+}
+
+// Name implements SLA.
+func (t TenantDistribution) Name() string { return t.Description }
+
+// Check implements SLA.
+func (t TenantDistribution) Check(r Result) (Verdict, error) {
+	if t.Fraction <= 0 || t.Fraction > 1 {
+		return Verdict{}, fmt.Errorf("sla: tenant fraction %v outside (0, 1]", t.Fraction)
+	}
+	if t.Values == nil {
+		return Verdict{}, fmt.Errorf("sla: tenant distribution needs a Values extractor")
+	}
+	vals, err := t.Values(r)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if len(vals) == 0 {
+		return Verdict{}, fmt.Errorf("sla: tenant distribution has no tenants")
+	}
+	ok := 0
+	for _, v := range vals {
+		if (t.AtLeast && v >= t.Threshold) || (!t.AtLeast && v <= t.Threshold) {
+			ok++
+		}
+	}
+	frac := float64(ok) / float64(len(vals))
+	return Verdict{
+		SLA: t.Name(), Met: frac >= t.Fraction,
+		Observed: frac, Target: t.Fraction, Margin: frac - t.Fraction,
+	}, nil
+}
+
+// CheckAll evaluates every SLA and reports the verdicts plus overall
+// success. A missing metric is an error, not a violation.
+func CheckAll(r Result, slas []SLA) ([]Verdict, bool, error) {
+	verdicts := make([]Verdict, 0, len(slas))
+	all := true
+	for _, s := range slas {
+		v, err := s.Check(r)
+		if err != nil {
+			return nil, false, fmt.Errorf("sla: checking %q: %w", s.Name(), err)
+		}
+		verdicts = append(verdicts, v)
+		if !v.Met {
+			all = false
+		}
+	}
+	return verdicts, all, nil
+}

@@ -1,0 +1,208 @@
+package sla
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func result(av, loss float64, lats []float64) MapResult {
+	s := &stats.Sample{}
+	for _, l := range lats {
+		s.Add(l)
+	}
+	return MapResult{
+		Metrics:   map[string]float64{"availability": av, "loss_prob": loss},
+		Latencies: map[string]*stats.Sample{"": s, "A": s},
+	}
+}
+
+func TestAvailabilitySLA(t *testing.T) {
+	a, err := NewAvailability(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Check(result(0.9995, 0, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Met || v.Margin <= 0 {
+		t.Errorf("verdict %v, want met with positive margin", v)
+	}
+	v, err = a.Check(result(0.99, 0, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Met || v.Margin >= 0 {
+		t.Errorf("verdict %v, want violated with negative margin", v)
+	}
+}
+
+func TestAvailabilityValidation(t *testing.T) {
+	if _, err := NewAvailability(0); err == nil {
+		t.Error("0 accepted")
+	}
+	if _, err := NewAvailability(1.5); err == nil {
+		t.Error("1.5 accepted")
+	}
+}
+
+func TestDurabilitySLA(t *testing.T) {
+	d, err := NewDurability(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Check(result(1, 1e-9, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Met {
+		t.Errorf("verdict %v, want met", v)
+	}
+	v, err = d.Check(result(1, 1e-3, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Met {
+		t.Errorf("verdict %v, want violated", v)
+	}
+	if _, err := NewDurability(-1); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
+func TestLatencySLA(t *testing.T) {
+	l, err := NewLatency("A", 0.95, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := make([]float64, 100)
+	for i := range lats {
+		lats[i] = 0.01 * float64(i+1) // p95 = 0.95s
+	}
+	v, err := l.Check(result(1, 0, lats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Met {
+		t.Errorf("p95=%v vs bound 0.5: want violated", v.Observed)
+	}
+	loose, err := NewLatency("A", 0.95, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = loose.Check(result(1, 0, lats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Met {
+		t.Errorf("p95=%v vs bound 1.0: want met", v.Observed)
+	}
+}
+
+func TestLatencySLAMissingSample(t *testing.T) {
+	l, err := NewLatency("missing", 0.95, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Check(result(1, 0, []float64{1})); err == nil {
+		t.Error("missing workload sample did not error")
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	if _, err := NewLatency("", 0, 1); err == nil {
+		t.Error("percentile 0 accepted")
+	}
+	if _, err := NewLatency("", 0.5, 0); err == nil {
+		t.Error("bound 0 accepted")
+	}
+}
+
+func TestTenantDistributionSLA(t *testing.T) {
+	// 95% of tenants must have availability >= 0.99.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 0.999
+	}
+	vals[0], vals[1], vals[2] = 0.5, 0.5, 0.5 // 3 bad tenants -> 97% good
+	td := TenantDistribution{
+		Description: "95% of tenants >= 0.99 availability",
+		Values:      func(Result) ([]float64, error) { return vals, nil },
+		AtLeast:     true,
+		Threshold:   0.99,
+		Fraction:    0.95,
+	}
+	v, err := td.Check(MapResult{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Met || v.Observed != 0.97 {
+		t.Errorf("verdict %v, want met at 0.97", v)
+	}
+	td.Fraction = 0.98
+	v, err = td.Check(MapResult{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Met {
+		t.Errorf("verdict %v, want violated at required 0.98", v)
+	}
+}
+
+func TestTenantDistributionValidation(t *testing.T) {
+	td := TenantDistribution{Fraction: 0.5}
+	if _, err := td.Check(MapResult{}); err == nil {
+		t.Error("nil Values accepted")
+	}
+	td = TenantDistribution{
+		Fraction: 2,
+		Values:   func(Result) ([]float64, error) { return []float64{1}, nil },
+	}
+	if _, err := td.Check(MapResult{}); err == nil {
+		t.Error("fraction 2 accepted")
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	a, err := NewAvailability(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurability(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := result(0.999, 1e-6, []float64{1})
+	verdicts, all, err := CheckAll(r, []SLA{a, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all || len(verdicts) != 2 {
+		t.Errorf("all=%v verdicts=%d, want true/2", all, len(verdicts))
+	}
+	r2 := result(0.9, 1e-6, []float64{1})
+	_, all, err = CheckAll(r2, []SLA{a, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all {
+		t.Error("violated availability not detected")
+	}
+	// Missing metric errors out.
+	bad := MapResult{Metrics: map[string]float64{}}
+	if _, _, err := CheckAll(bad, []SLA{a}); err == nil {
+		t.Error("missing metric did not error")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{SLA: "x", Met: true, Observed: 1, Target: 0.9, Margin: 0.1}
+	if s := v.String(); s == "" {
+		t.Error("empty verdict string")
+	}
+	v.Met = false
+	if s := v.String(); s == "" {
+		t.Error("empty verdict string")
+	}
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance of this classic sample is 4; unbiased = 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var all, a, b Welford
+		for _, x := range xs {
+			all.Add(x)
+		}
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		scale := 1 + math.Abs(all.Mean())
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9*scale &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6*(1+all.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordCIShrinks(t *testing.T) {
+	var w Welford
+	for i := 0; i < 10; i++ {
+		w.Add(float64(i % 5))
+	}
+	ci10 := w.CI(0.05)
+	for i := 10; i < 1000; i++ {
+		w.Add(float64(i % 5))
+	}
+	ci1000 := w.CI(0.05)
+	if ci1000 >= ci10 {
+		t.Errorf("CI did not shrink: %v -> %v", ci10, ci1000)
+	}
+	if ci1000 <= 0 {
+		t.Errorf("CI half-width must be positive, got %v", ci1000)
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	z := NormQuantile(0.975)
+	tq := tQuantile(0.975, 10000)
+	if math.Abs(z-tq) > 1e-3 {
+		t.Errorf("t(0.975, 10000) = %v, want ~ %v", tq, z)
+	}
+	// Small df must inflate: t(0.975, 5) ~ 2.571 vs z ~ 1.96.
+	t5 := tQuantile(0.975, 5)
+	if t5 < 2.4 || t5 > 2.75 {
+		t.Errorf("t(0.975, 5) = %v, want ~2.57", t5)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 100; i >= 1; i-- { // insert descending to exercise sorting
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0.01, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean())
+	}
+	if s.Max() != 100 {
+		t.Errorf("max = %v, want 100", s.Max())
+	}
+}
+
+func TestSampleQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample quantile")
+		}
+	}()
+	var s Sample
+	s.Quantile(0.5)
+}
+
+func TestSampleMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(3)
+	b.Add(2)
+	a.Merge(&b)
+	if a.N() != 3 || a.Quantile(0.5) != 2 {
+		t.Errorf("merge failed: n=%d median=%v", a.N(), a.Quantile(0.5))
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 1)  // up from 0
+	tw.Set(10, 0) // down at 10
+	tw.Set(15, 1) // up at 15
+	avg := tw.Finish(20)
+	// Up for 10 + 5 of 20 time units = 0.75.
+	if math.Abs(avg-0.75) > 1e-12 {
+		t.Errorf("time average = %v, want 0.75", avg)
+	}
+	if tw.Duration() != 20 {
+		t.Errorf("duration = %v, want 20", tw.Duration())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on backwards time")
+		}
+	}()
+	var tw TimeWeighted
+	tw.Set(5, 1)
+	tw.Set(4, 0)
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.N() != 12 {
+		t.Errorf("N = %d, want 12", h.N())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Underflow(), h.Overflow())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+	if got := h.FractionBelow(5); math.Abs(got-6.0/12) > 1e-12 {
+		t.Errorf("FractionBelow(5) = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	lo, hi := BinomialCI(50, 100, 0.05)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("CI [%v, %v] must contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("CI [%v, %v] too wide for n=100", lo, hi)
+	}
+	// Edge cases stay in [0,1].
+	lo, hi = BinomialCI(0, 10, 0.05)
+	if lo != 0 || hi <= 0 || hi > 1 {
+		t.Errorf("CI for 0/10 = [%v, %v]", lo, hi)
+	}
+	lo, hi = BinomialCI(10, 10, 0.05)
+	if hi != 1 || lo >= 1 || lo < 0 {
+		t.Errorf("CI for 10/10 = [%v, %v]", lo, hi)
+	}
+	lo, hi = BinomialCI(0, 0, 0.05)
+	if lo != 0 || hi != 1 {
+		t.Errorf("CI for 0/0 = [%v, %v], want [0,1]", lo, hi)
+	}
+}
+
+func TestBinomialCICoverageProperty(t *testing.T) {
+	// Wilson interval width shrinks with n and is widest at p=0.5.
+	_, hi1 := BinomialCI(5, 10, 0.05)
+	lo1, _ := BinomialCI(5, 10, 0.05)
+	_, hi2 := BinomialCI(500, 1000, 0.05)
+	lo2, _ := BinomialCI(500, 1000, 0.05)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Errorf("CI width did not shrink with n: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{}
+	c.Inc("events", 3)
+	c.Inc("events", 2)
+	if c.Get("events") != 5 {
+		t.Errorf("counter = %d, want 5", c.Get("events"))
+	}
+	if c.Get("missing") != 0 {
+		t.Errorf("missing counter = %d, want 0", c.Get("missing"))
+	}
+}

@@ -1,0 +1,198 @@
+// Package storage implements the software side of the wind tunnel's
+// availability story (§1, §3, §4.6 of the paper): customer data objects
+// protected by n-way replication or Reed–Solomon erasure coding (the
+// "XORing elephants" alternative the paper cites as [14]), distributed
+// across cluster nodes by pluggable placement policies — Random and
+// RoundRobin as in Figure 1, plus rack-aware and copyset variants — and
+// judged available under a majority-quorum protocol.
+package storage
+
+// GF(2^8) arithmetic with the 0x11d primitive polynomial (the one used by
+// storage Reed–Solomon implementations). Log/antilog tables are built at
+// package init; all operations are table lookups.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // doubled to avoid mod-255 in Mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b (b != 0).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("storage: GF(256) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a (a != 0).
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("storage: GF(256) inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfPow returns a^n.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(gfLog[a]) * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return gfExp[l]
+}
+
+// matrix is a dense byte matrix over GF(256).
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+
+// mul returns m × o.
+func (m *matrix) mul(o *matrix) *matrix {
+	if m.cols != o.rows {
+		panic("storage: matrix dimension mismatch")
+	}
+	out := newMatrix(m.rows, o.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < o.cols; c++ {
+				out.data[r*o.cols+c] ^= gfMul(a, o.at(k, c))
+			}
+		}
+	}
+	return out
+}
+
+// subMatrix returns rows [r0,r1) and cols [c0,c1).
+func (m *matrix) subMatrix(r0, r1, c0, c1 int) *matrix {
+	out := newMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			out.set(r-r0, c-c0, m.at(r, c))
+		}
+	}
+	return out
+}
+
+// invert returns the inverse via Gauss–Jordan elimination, or false if the
+// matrix is singular.
+func (m *matrix) invert() (*matrix, bool) {
+	if m.rows != m.cols {
+		return nil, false
+	}
+	n := m.rows
+	// Augmented [m | I].
+	aug := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			aug.set(r, c, m.at(r, c))
+		}
+		aug.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			for c := 0; c < 2*n; c++ {
+				v1, v2 := aug.at(col, c), aug.at(pivot, c)
+				aug.set(col, c, v2)
+				aug.set(pivot, c, v1)
+			}
+		}
+		// Scale pivot row to 1.
+		inv := gfInv(aug.at(col, col))
+		for c := 0; c < 2*n; c++ {
+			aug.set(col, c, gfMul(aug.at(col, c), inv))
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.at(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < 2*n; c++ {
+				aug.set(r, c, aug.at(r, c)^gfMul(f, aug.at(col, c)))
+			}
+		}
+	}
+	return aug.subMatrix(0, n, n, 2*n), true
+}
+
+// identity returns the n×n identity matrix.
+func identity(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols Vandermonde matrix V[r][c] = r^c.
+// Any k distinct rows of a Vandermonde matrix over GF(256) with rows <=
+// 256 are linearly independent.
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfPow(byte(r), c))
+		}
+	}
+	return m
+}

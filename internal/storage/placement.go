@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// View is the placement-relevant summary of a cluster: how many nodes and
+// which rack each lives in.
+type View struct {
+	Nodes  int
+	RackOf []int // len Nodes; nil means a single flat rack
+}
+
+// Validate checks internal consistency.
+func (v View) Validate() error {
+	if v.Nodes < 1 {
+		return fmt.Errorf("storage: view needs >= 1 node, got %d", v.Nodes)
+	}
+	if v.RackOf != nil && len(v.RackOf) != v.Nodes {
+		return fmt.Errorf("storage: RackOf has %d entries for %d nodes", len(v.RackOf), v.Nodes)
+	}
+	return nil
+}
+
+// Racks returns the number of distinct racks (1 when flat).
+func (v View) Racks() int {
+	if v.RackOf == nil {
+		return 1
+	}
+	max := 0
+	for _, r := range v.RackOf {
+		if r > max {
+			max = r
+		}
+	}
+	return max + 1
+}
+
+// Policy decides which nodes hold an object's shards/replicas. Placements
+// must consist of distinct nodes.
+type Policy interface {
+	// Name identifies the policy ("random", "roundrobin", ...).
+	Name() string
+	// Place returns count distinct node ids for the object.
+	Place(objectID, count int, view View, r *rng.Source) ([]int, error)
+}
+
+// Random places each object's replicas on a uniformly random set of
+// distinct nodes — the "R" policy of Figure 1.
+type Random struct{}
+
+func (Random) Name() string { return "random" }
+
+func (Random) Place(objectID, count int, view View, r *rng.Source) ([]int, error) {
+	if err := checkCount(count, view); err != nil {
+		return nil, err
+	}
+	return r.Sample(view.Nodes, count), nil
+}
+
+// RoundRobin places object i's replicas on nodes i, i+1, ..., i+count-1
+// (mod N) — the "RR" policy of Figure 1.
+type RoundRobin struct{}
+
+func (RoundRobin) Name() string { return "roundrobin" }
+
+func (RoundRobin) Place(objectID, count int, view View, _ *rng.Source) ([]int, error) {
+	if err := checkCount(count, view); err != nil {
+		return nil, err
+	}
+	out := make([]int, count)
+	for j := 0; j < count; j++ {
+		out[j] = (objectID + j) % view.Nodes
+	}
+	return out, nil
+}
+
+// RackAware places replicas on distinct racks when possible (the policy
+// real systems use to survive correlated ToR/rack failures, §2.1): racks
+// are chosen uniformly without replacement, then a random node within
+// each; when count exceeds the rack count it wraps around.
+type RackAware struct{}
+
+func (RackAware) Name() string { return "rackaware" }
+
+func (RackAware) Place(objectID, count int, view View, r *rng.Source) ([]int, error) {
+	if err := checkCount(count, view); err != nil {
+		return nil, err
+	}
+	if view.RackOf == nil {
+		return Random{}.Place(objectID, count, view, r)
+	}
+	// Group nodes by rack.
+	racks := view.Racks()
+	byRack := make([][]int, racks)
+	for n, rk := range view.RackOf {
+		byRack[rk] = append(byRack[rk], n)
+	}
+	chosen := make(map[int]bool, count)
+	out := make([]int, 0, count)
+	rackOrder := r.Perm(racks)
+	for len(out) < count {
+		progressed := false
+		for _, rk := range rackOrder {
+			if len(out) == count {
+				break
+			}
+			nodes := byRack[rk]
+			// Pick an unchosen node in this rack, if any.
+			start := r.Intn(len(nodes))
+			for i := 0; i < len(nodes); i++ {
+				n := nodes[(start+i)%len(nodes)]
+				if !chosen[n] {
+					chosen[n] = true
+					out = append(out, n)
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("storage: rack-aware placement could not find %d distinct nodes", count)
+		}
+	}
+	return out, nil
+}
+
+// CopySet restricts placements to a small set of precomputed replica
+// groups (Cidon et al.'s copysets), trading a higher per-group loss
+// probability for far fewer distinct groups — the classic illustration
+// that placement policy interacts with availability (§4.6). Scatter
+// controls how many permutations are used (>= 1).
+type CopySet struct {
+	GroupSize int
+	Scatter   int
+
+	sets    [][]int
+	forView int // view size the sets were built for
+}
+
+// NewCopySet builds a copyset policy for groups of size groupSize using
+// `scatter` random permutations.
+func NewCopySet(groupSize, scatter int) (*CopySet, error) {
+	if groupSize < 1 {
+		return nil, fmt.Errorf("storage: copyset group size must be >= 1, got %d", groupSize)
+	}
+	if scatter < 1 {
+		return nil, fmt.Errorf("storage: copyset scatter must be >= 1, got %d", scatter)
+	}
+	return &CopySet{GroupSize: groupSize, Scatter: scatter}, nil
+}
+
+func (c *CopySet) Name() string { return "copyset" }
+
+func (c *CopySet) Place(objectID, count int, view View, r *rng.Source) ([]int, error) {
+	if err := checkCount(count, view); err != nil {
+		return nil, err
+	}
+	if count != c.GroupSize {
+		return nil, fmt.Errorf("storage: copyset built for group size %d, asked for %d", c.GroupSize, count)
+	}
+	if c.sets == nil || c.forView != view.Nodes {
+		c.build(view.Nodes, r)
+	}
+	return c.sets[r.Intn(len(c.sets))], nil
+}
+
+// build partitions `scatter` random permutations into groups.
+func (c *CopySet) build(nodes int, r *rng.Source) {
+	c.sets = nil
+	c.forView = nodes
+	for s := 0; s < c.Scatter; s++ {
+		perm := r.Perm(nodes)
+		for i := 0; i+c.GroupSize <= nodes; i += c.GroupSize {
+			group := make([]int, c.GroupSize)
+			copy(group, perm[i:i+c.GroupSize])
+			c.sets = append(c.sets, group)
+		}
+	}
+	if len(c.sets) == 0 {
+		// Fewer nodes than the group size is rejected by checkCount
+		// before build; guard anyway.
+		c.sets = [][]int{{0}}
+	}
+}
+
+func checkCount(count int, view View) error {
+	if err := view.Validate(); err != nil {
+		return err
+	}
+	if count < 1 || count > view.Nodes {
+		return fmt.Errorf("storage: placement count %d outside [1, %d]", count, view.Nodes)
+	}
+	return nil
+}
+
+// PolicyByName returns a fresh policy instance for the given name.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "random":
+		return Random{}, nil
+	case "roundrobin":
+		return RoundRobin{}, nil
+	case "rackaware":
+		return RackAware{}, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown placement policy %q", name)
+	}
+}

@@ -1,0 +1,140 @@
+package storage
+
+import "fmt"
+
+// RSCode is a systematic Reed–Solomon erasure code with K data shards and
+// M parity shards: any K of the K+M shards reconstruct the data. RS(10,4)
+// is the configuration from the paper's reference [14] ("XORing
+// elephants"); the wind tunnel's E8 experiment compares such codes against
+// plain replication on storage overhead and availability.
+type RSCode struct {
+	K, M   int
+	enc    *matrix // (K+M) × K systematic encoding matrix
+	parity *matrix // M × K parity rows
+}
+
+// NewRSCode builds an RS(k, m) code; k >= 1, m >= 0, k+m <= 256.
+func NewRSCode(k, m int) (*RSCode, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("storage: RS needs k >= 1 data shards, got %d", k)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("storage: RS needs m >= 0 parity shards, got %d", m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("storage: RS supports k+m <= 256, got %d", k+m)
+	}
+	// Systematic construction: V ((k+m)×k Vandermonde), normalized so the
+	// top k×k block is the identity: E = V * inv(V_top).
+	v := vandermonde(k+m, k)
+	top := v.subMatrix(0, k, 0, k)
+	topInv, ok := top.invert()
+	if !ok {
+		return nil, fmt.Errorf("storage: degenerate Vandermonde (k=%d, m=%d)", k, m)
+	}
+	enc := v.mul(topInv)
+	return &RSCode{K: k, M: m, enc: enc, parity: enc.subMatrix(k, k+m, 0, k)}, nil
+}
+
+// Shards returns k+m.
+func (c *RSCode) Shards() int { return c.K + c.M }
+
+// Overhead returns the storage expansion factor (k+m)/k.
+func (c *RSCode) Overhead() float64 { return float64(c.K+c.M) / float64(c.K) }
+
+// Encode computes the m parity shards for k equal-length data shards and
+// returns the full k+m shard set (data shards aliased, parity appended).
+func (c *RSCode) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.K {
+		return nil, fmt.Errorf("storage: Encode wants %d data shards, got %d", c.K, len(data))
+	}
+	shardLen := len(data[0])
+	for i, d := range data {
+		if len(d) != shardLen {
+			return nil, fmt.Errorf("storage: shard %d length %d != %d", i, len(d), shardLen)
+		}
+	}
+	shards := make([][]byte, c.K+c.M)
+	copy(shards, data)
+	for p := 0; p < c.M; p++ {
+		out := make([]byte, shardLen)
+		for k := 0; k < c.K; k++ {
+			coef := c.parity.at(p, k)
+			if coef == 0 {
+				continue
+			}
+			src := data[k]
+			for i := range src {
+				out[i] ^= gfMul(coef, src[i])
+			}
+		}
+		shards[c.K+p] = out
+	}
+	return shards, nil
+}
+
+// Reconstruct recovers the original K data shards from any K available
+// shards. shards has length K+M with nil entries marking erasures.
+func (c *RSCode) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.K+c.M {
+		return nil, fmt.Errorf("storage: Reconstruct wants %d shards, got %d", c.K+c.M, len(shards))
+	}
+	var availIdx []int
+	shardLen := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardLen < 0 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return nil, fmt.Errorf("storage: inconsistent shard lengths")
+		}
+		availIdx = append(availIdx, i)
+	}
+	if len(availIdx) < c.K {
+		return nil, fmt.Errorf("storage: only %d of %d required shards available", len(availIdx), c.K)
+	}
+	availIdx = availIdx[:c.K]
+
+	// Fast path: all data shards present.
+	allData := true
+	for i := 0; i < c.K; i++ {
+		if shards[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return shards[:c.K], nil
+	}
+
+	// Build the decode matrix from the surviving rows of the encoding
+	// matrix and invert it.
+	sub := newMatrix(c.K, c.K)
+	for r, idx := range availIdx {
+		for col := 0; col < c.K; col++ {
+			sub.set(r, col, c.enc.at(idx, col))
+		}
+	}
+	dec, ok := sub.invert()
+	if !ok {
+		return nil, fmt.Errorf("storage: decode matrix singular (should be impossible for RS)")
+	}
+	data := make([][]byte, c.K)
+	for r := 0; r < c.K; r++ {
+		out := make([]byte, shardLen)
+		for col := 0; col < c.K; col++ {
+			coef := dec.at(r, col)
+			if coef == 0 {
+				continue
+			}
+			src := shards[availIdx[col]]
+			for i := range src {
+				out[i] ^= gfMul(coef, src[i])
+			}
+		}
+		data[r] = out
+	}
+	return data, nil
+}

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGF256Axioms(t *testing.T) {
+	// Spot-check field axioms over random elements.
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		a := byte(r.Intn(256))
+		b := byte(r.Intn(256))
+		c := byte(r.Intn(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("multiplication not commutative for %d, %d", a, b)
+		}
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			t.Fatalf("multiplication not associative for %d, %d, %d", a, b, c)
+		}
+		// Distributivity over XOR (field addition).
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails for %d, %d, %d", a, b, c)
+		}
+		if gfMul(a, 1) != a {
+			t.Fatalf("1 is not identity for %d", a)
+		}
+		if a != 0 && gfMul(a, gfInv(a)) != 1 {
+			t.Fatalf("inverse wrong for %d", a)
+		}
+		if b != 0 && gfMul(gfDiv(a, b), b) != a {
+			t.Fatalf("division wrong for %d / %d", a, b)
+		}
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	if gfPow(2, 0) != 1 || gfPow(0, 5) != 0 || gfPow(7, 1) != 7 {
+		t.Fatal("gfPow base cases wrong")
+	}
+	// a^255 = 1 for a != 0.
+	for a := 1; a < 256; a++ {
+		if gfPow(byte(a), 255) != 1 {
+			t.Fatalf("%d^255 != 1", a)
+		}
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	m := identity(5)
+	inv, ok := m.invert()
+	if !ok {
+		t.Fatal("identity not invertible")
+	}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if inv.at(r, c) != want {
+				t.Fatalf("inverse of identity differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(8)
+		m := newMatrix(n, n)
+		for i := range m.data {
+			m.data[i] = byte(r.Intn(256))
+		}
+		inv, ok := m.invert()
+		if !ok {
+			continue // singular random matrix; skip
+		}
+		prod := m.mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if prod.at(i, j) != want {
+					t.Fatalf("M * inv(M) != I at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixSingularDetected(t *testing.T) {
+	m := newMatrix(2, 2) // all zeros
+	if _, ok := m.invert(); ok {
+		t.Fatal("zero matrix inverted")
+	}
+}
+
+func TestRSEncodeSystematic(t *testing.T) {
+	code, err := NewRSCode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	shards, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("got %d shards, want 6", len(shards))
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Fatalf("systematic property violated at shard %d", i)
+		}
+	}
+}
+
+func TestRSReconstructAllErasurePatterns(t *testing.T) {
+	code, err := NewRSCode(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{
+		[]byte("hello world!"),
+		[]byte("wind tunnels"),
+		[]byte("datacenters!"),
+	}
+	shards, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erase every subset of size <= m = 2 and reconstruct.
+	n := len(shards)
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := 0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				erased++
+			}
+		}
+		if erased > code.M {
+			continue
+		}
+		work := make([][]byte, n)
+		for i := range shards {
+			if mask>>i&1 == 0 {
+				work[i] = shards[i]
+			}
+		}
+		got, err := code.Reconstruct(work)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("mask %b: data shard %d corrupted: %q != %q", mask, i, got[i], data[i])
+			}
+		}
+	}
+}
+
+func TestRSReconstructFailsBeyondM(t *testing.T) {
+	code, err := NewRSCode(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{{1}, {2}, {3}}
+	shards, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil // 3 erasures > m=2
+	if _, err := code.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruction with k-1 shards succeeded")
+	}
+}
+
+func TestRSRoundTripProperty(t *testing.T) {
+	// Property: for random (k, m), random data and a random erasure set of
+	// size <= m, decode(encode(data)) == data.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(10)
+		m := r.Intn(6)
+		code, err := NewRSCode(k, m)
+		if err != nil {
+			return false
+		}
+		shardLen := 1 + r.Intn(64)
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, shardLen)
+			for j := range data[i] {
+				data[i][j] = byte(r.Intn(256))
+			}
+		}
+		shards, err := code.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Erase up to m random shards.
+		erasures := r.Intn(m + 1)
+		for _, idx := range r.Sample(k+m, erasures) {
+			shards[idx] = nil
+		}
+		got, err := code.Reconstruct(shards)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSValidation(t *testing.T) {
+	if _, err := NewRSCode(0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRSCode(3, -1); err == nil {
+		t.Error("m<0 accepted")
+	}
+	if _, err := NewRSCode(200, 100); err == nil {
+		t.Error("k+m > 256 accepted")
+	}
+	code, err := NewRSCode(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := code.Encode([][]byte{{1}}); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	if _, err := code.Encode([][]byte{{1}, {2, 3}}); err == nil {
+		t.Error("ragged shards accepted")
+	}
+	if _, err := code.Reconstruct([][]byte{{1}}); err == nil {
+		t.Error("wrong reconstruct count accepted")
+	}
+}
+
+func TestRSOverhead(t *testing.T) {
+	code, err := NewRSCode(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.Overhead() != 1.4 {
+		t.Errorf("RS(10,4) overhead = %v, want 1.4", code.Overhead())
+	}
+	if code.Shards() != 14 {
+		t.Errorf("shards = %d, want 14", code.Shards())
+	}
+}

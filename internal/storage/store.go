@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// SchemeKind distinguishes redundancy schemes.
+type SchemeKind int
+
+const (
+	// Replication keeps Replicas full copies; an object is readable while
+	// a majority of copies is reachable (quorum protocol, Figure 1).
+	Replication SchemeKind = iota
+	// ErasureRS keeps K data + M parity shards; an object is readable
+	// while at least K shards are reachable.
+	ErasureRS
+)
+
+// Scheme is an object's redundancy configuration.
+type Scheme struct {
+	Kind     SchemeKind
+	Replicas int // Replication
+	K, M     int // ErasureRS
+}
+
+// ReplicationScheme returns an n-way replication scheme.
+func ReplicationScheme(n int) Scheme { return Scheme{Kind: Replication, Replicas: n} }
+
+// RSScheme returns an RS(k, m) scheme.
+func RSScheme(k, m int) Scheme { return Scheme{Kind: ErasureRS, K: k, M: m} }
+
+// Validate checks the scheme parameters.
+func (s Scheme) Validate() error {
+	switch s.Kind {
+	case Replication:
+		if s.Replicas < 1 {
+			return fmt.Errorf("storage: replication needs >= 1 replica, got %d", s.Replicas)
+		}
+	case ErasureRS:
+		if s.K < 1 || s.M < 0 {
+			return fmt.Errorf("storage: RS needs k >= 1, m >= 0; got k=%d m=%d", s.K, s.M)
+		}
+	default:
+		return fmt.Errorf("storage: unknown scheme kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// Width returns the number of placed shards/replicas.
+func (s Scheme) Width() int {
+	if s.Kind == Replication {
+		return s.Replicas
+	}
+	return s.K + s.M
+}
+
+// Overhead returns the storage expansion factor.
+func (s Scheme) Overhead() float64 {
+	if s.Kind == Replication {
+		return float64(s.Replicas)
+	}
+	return float64(s.K+s.M) / float64(s.K)
+}
+
+// MinAvailable returns the minimum number of reachable shards needed for
+// the object to be readable. The replication rule follows the paper's
+// Figure-1 criterion exactly: the customer cannot operate when a MAJORITY
+// of replicas is unavailable, i.e. when more than half are down
+// (down >= floor(n/2)+1); the object is therefore readable while
+// up >= ceil(n/2). For odd n this equals the familiar majority-up quorum;
+// for n=2 a single surviving replica keeps the data readable.
+func (s Scheme) MinAvailable() int {
+	if s.Kind == Replication {
+		return (s.Replicas + 1) / 2
+	}
+	return s.K
+}
+
+func (s Scheme) String() string {
+	if s.Kind == Replication {
+		return fmt.Sprintf("rep-%d", s.Replicas)
+	}
+	return fmt.Sprintf("rs-%d-%d", s.K, s.M)
+}
+
+// Object is one customer's data item.
+type Object struct {
+	ID        int
+	SizeMB    float64
+	Scheme    Scheme
+	Locations []int // node ids, len == Scheme.Width()
+}
+
+// Store tracks every object's placement and answers availability and
+// durability questions against a node-state predicate.
+type Store struct {
+	view    View
+	policy  Policy
+	objects []*Object
+}
+
+// NewStore creates a store over the given view with the given policy.
+func NewStore(view View, policy Policy) (*Store, error) {
+	if err := view.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("storage: nil placement policy")
+	}
+	return &Store{view: view, policy: policy}, nil
+}
+
+// Policy returns the placement policy.
+func (st *Store) Policy() Policy { return st.policy }
+
+// View returns the placement view.
+func (st *Store) View() View { return st.view }
+
+// AddObjects creates and places count objects of sizeMB each under scheme,
+// drawing placement randomness from r. Object ids continue from the
+// current population (supporting the 10,000-user setup of Figure 1).
+func (st *Store) AddObjects(count int, sizeMB float64, scheme Scheme, r *rng.Source) error {
+	if count < 1 {
+		return fmt.Errorf("storage: AddObjects count must be >= 1, got %d", count)
+	}
+	if sizeMB < 0 {
+		return fmt.Errorf("storage: object size must be >= 0, got %v", sizeMB)
+	}
+	if err := scheme.Validate(); err != nil {
+		return err
+	}
+	if scheme.Width() > st.view.Nodes {
+		return fmt.Errorf("storage: scheme %v needs %d nodes, view has %d",
+			scheme, scheme.Width(), st.view.Nodes)
+	}
+	base := len(st.objects)
+	for i := 0; i < count; i++ {
+		id := base + i
+		locs, err := st.policy.Place(id, scheme.Width(), st.view, r)
+		if err != nil {
+			return fmt.Errorf("storage: placing object %d: %w", id, err)
+		}
+		if err := distinct(locs, st.view.Nodes); err != nil {
+			return fmt.Errorf("storage: policy %s for object %d: %w", st.policy.Name(), id, err)
+		}
+		st.objects = append(st.objects, &Object{
+			ID: id, SizeMB: sizeMB, Scheme: scheme, Locations: locs,
+		})
+	}
+	return nil
+}
+
+func distinct(locs []int, nodes int) error {
+	seen := make(map[int]bool, len(locs))
+	for _, l := range locs {
+		if l < 0 || l >= nodes {
+			return fmt.Errorf("node %d out of range", l)
+		}
+		if seen[l] {
+			return fmt.Errorf("duplicate node %d in placement", l)
+		}
+		seen[l] = true
+	}
+	return nil
+}
+
+// Objects returns all objects.
+func (st *Store) Objects() []*Object { return st.objects }
+
+// Len returns the object count.
+func (st *Store) Len() int { return len(st.objects) }
+
+// Available reports whether obj is readable given down(node) telling which
+// nodes are unreachable.
+func (st *Store) Available(obj *Object, down func(int) bool) bool {
+	up := 0
+	for _, n := range obj.Locations {
+		if !down(n) {
+			up++
+		}
+	}
+	return up >= obj.Scheme.MinAvailable()
+}
+
+// UnavailableCount returns how many objects are unreadable under down.
+func (st *Store) UnavailableCount(down func(int) bool) int {
+	count := 0
+	for _, o := range st.objects {
+		if !st.Available(o, down) {
+			count++
+		}
+	}
+	return count
+}
+
+// AnyUnavailable reports whether at least one object is unreadable under
+// down — the Figure-1 event ("at least one customer's data becomes
+// unavailable").
+func (st *Store) AnyUnavailable(down func(int) bool) bool {
+	for _, o := range st.objects {
+		if !st.Available(o, down) {
+			return true
+		}
+	}
+	return false
+}
+
+// LostCount returns how many objects currently have zero recoverable
+// copies under down — the §1 notion of unavailability ("the system has
+// zero up-to-date copies of the data"). Unlike Lost-driven permanent
+// accounting, this is a transient predicate: objects recover when their
+// nodes return.
+func (st *Store) LostCount(down func(int) bool) int {
+	count := 0
+	for _, o := range st.objects {
+		if st.Lost(o, down) {
+			count++
+		}
+	}
+	return count
+}
+
+// Lost reports whether obj is unrecoverable under down (fewer surviving
+// shards than the reconstruction minimum — for replication, zero copies).
+func (st *Store) Lost(obj *Object, down func(int) bool) bool {
+	up := 0
+	for _, n := range obj.Locations {
+		if !down(n) {
+			up++
+		}
+	}
+	if obj.Scheme.Kind == Replication {
+		return up == 0
+	}
+	return up < obj.Scheme.K
+}
+
+// TotalStoredMB returns the physical bytes stored (logical × overhead).
+func (st *Store) TotalStoredMB() float64 {
+	total := 0.0
+	for _, o := range st.objects {
+		total += o.SizeMB * o.Scheme.Overhead()
+	}
+	return total
+}
+
+// ObjectsOn returns the objects having a shard/replica on node n.
+func (st *Store) ObjectsOn(n int) []*Object {
+	var out []*Object
+	for _, o := range st.objects {
+		for _, loc := range o.Locations {
+			if loc == n {
+				out = append(out, o)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Relocate moves obj's shard from node `from` to node `to` (repair
+// completion). It returns an error if from is not a location or to
+// already holds a shard.
+func (st *Store) Relocate(obj *Object, from, to int) error {
+	if to < 0 || to >= st.view.Nodes {
+		return fmt.Errorf("storage: relocate target %d out of range", to)
+	}
+	fromIdx := -1
+	for i, l := range obj.Locations {
+		if l == from {
+			fromIdx = i
+		}
+		if l == to {
+			return fmt.Errorf("storage: node %d already holds a shard of object %d", to, obj.ID)
+		}
+	}
+	if fromIdx < 0 {
+		return fmt.Errorf("storage: node %d holds no shard of object %d", from, obj.ID)
+	}
+	obj.Locations[fromIdx] = to
+	return nil
+}

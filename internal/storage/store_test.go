@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func flatView(n int) View { return View{Nodes: n} }
+
+func rackView(racks, perRack int) View {
+	v := View{Nodes: racks * perRack, RackOf: make([]int, racks*perRack)}
+	for i := range v.RackOf {
+		v.RackOf[i] = i / perRack
+	}
+	return v
+}
+
+func TestPoliciesProduceDistinctValidNodes(t *testing.T) {
+	r := rng.New(7)
+	cs, err := NewCopySet(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []Policy{Random{}, RoundRobin{}, RackAware{}, cs}
+	view := rackView(5, 6)
+	for _, p := range policies {
+		for obj := 0; obj < 200; obj++ {
+			locs, err := p.Place(obj, 3, view, r)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if len(locs) != 3 {
+				t.Fatalf("%s: got %d locations, want 3", p.Name(), len(locs))
+			}
+			if err := distinct(locs, view.Nodes); err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+		}
+	}
+}
+
+func TestRoundRobinDeterministicWindows(t *testing.T) {
+	view := flatView(10)
+	p := RoundRobin{}
+	locs, err := p.Place(8, 3, view, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 9, 0}
+	for i := range want {
+		if locs[i] != want[i] {
+			t.Fatalf("object 8 placed at %v, want %v", locs, want)
+		}
+	}
+}
+
+func TestRackAwareSpreadsAcrossRacks(t *testing.T) {
+	r := rng.New(3)
+	view := rackView(3, 4)
+	p := RackAware{}
+	for obj := 0; obj < 100; obj++ {
+		locs, err := p.Place(obj, 3, view, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		racks := map[int]bool{}
+		for _, n := range locs {
+			racks[view.RackOf[n]] = true
+		}
+		if len(racks) != 3 {
+			t.Fatalf("object %d spans %d racks, want 3: %v", obj, len(racks), locs)
+		}
+	}
+}
+
+func TestRackAwareWrapsWhenFewRacks(t *testing.T) {
+	r := rng.New(3)
+	view := rackView(2, 5)
+	locs, err := RackAware{}.Place(0, 4, view, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := distinct(locs, view.Nodes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopySetLimitsDistinctGroups(t *testing.T) {
+	r := rng.New(11)
+	cs, err := NewCopySet(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := flatView(9)
+	groups := map[[3]int]bool{}
+	for obj := 0; obj < 500; obj++ {
+		locs, err := cs.Place(obj, 3, view, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key [3]int
+		copy(key[:], locs)
+		groups[key] = true
+	}
+	// One permutation of 9 nodes yields exactly 3 groups.
+	if len(groups) != 3 {
+		t.Fatalf("copyset produced %d distinct groups, want 3", len(groups))
+	}
+}
+
+func TestSchemeSemantics(t *testing.T) {
+	rep3 := ReplicationScheme(3)
+	if rep3.MinAvailable() != 2 {
+		t.Errorf("rep-3 quorum = %d, want 2", rep3.MinAvailable())
+	}
+	rep5 := ReplicationScheme(5)
+	if rep5.MinAvailable() != 3 {
+		t.Errorf("rep-5 quorum = %d, want 3", rep5.MinAvailable())
+	}
+	rs := RSScheme(10, 4)
+	if rs.MinAvailable() != 10 || rs.Width() != 14 {
+		t.Errorf("rs-10-4 min/width = %d/%d, want 10/14", rs.MinAvailable(), rs.Width())
+	}
+	if rs.Overhead() != 1.4 || rep3.Overhead() != 3 {
+		t.Error("overhead wrong")
+	}
+	if ReplicationScheme(0).Validate() == nil {
+		t.Error("rep-0 accepted")
+	}
+	if RSScheme(0, 2).Validate() == nil {
+		t.Error("rs k=0 accepted")
+	}
+}
+
+func TestStoreQuorumAvailability(t *testing.T) {
+	r := rng.New(5)
+	st, err := NewStore(flatView(10), RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddObjects(1, 100, ReplicationScheme(3), r); err != nil {
+		t.Fatal(err)
+	}
+	obj := st.Objects()[0] // placed on 0, 1, 2
+	downSet := map[int]bool{}
+	down := func(n int) bool { return downSet[n] }
+	if !st.Available(obj, down) {
+		t.Fatal("object unavailable with no failures")
+	}
+	downSet[0] = true
+	if !st.Available(obj, down) {
+		t.Fatal("object should survive one failure (majority 2 of 3 up)")
+	}
+	downSet[1] = true
+	if st.Available(obj, down) {
+		t.Fatal("object should be unavailable with majority down")
+	}
+	if st.Lost(obj, down) {
+		t.Fatal("object not lost while one replica remains")
+	}
+	downSet[2] = true
+	if !st.Lost(obj, down) {
+		t.Fatal("object should be lost with all replicas down")
+	}
+}
+
+func TestStoreRSAvailability(t *testing.T) {
+	r := rng.New(5)
+	st, err := NewStore(flatView(10), Random{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddObjects(1, 100, RSScheme(4, 2), r); err != nil {
+		t.Fatal(err)
+	}
+	obj := st.Objects()[0]
+	downSet := map[int]bool{}
+	down := func(n int) bool { return downSet[n] }
+	// Fail 2 shards: still readable (4 of 6 left).
+	downSet[obj.Locations[0]] = true
+	downSet[obj.Locations[1]] = true
+	if !st.Available(obj, down) {
+		t.Fatal("RS(4,2) should survive 2 erasures")
+	}
+	// Fail a third: unreadable AND lost (RS loss == unavailability).
+	downSet[obj.Locations[2]] = true
+	if st.Available(obj, down) {
+		t.Fatal("RS(4,2) should not survive 3 erasures")
+	}
+	if !st.Lost(obj, down) {
+		t.Fatal("RS(4,2) with 3 erasures is unrecoverable")
+	}
+}
+
+func TestStoreCounts(t *testing.T) {
+	r := rng.New(9)
+	st, err := NewStore(flatView(10), RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddObjects(10, 50, ReplicationScheme(3), r); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 10 {
+		t.Fatalf("len = %d, want 10", st.Len())
+	}
+	if st.TotalStoredMB() != 10*50*3 {
+		t.Fatalf("stored = %v, want 1500", st.TotalStoredMB())
+	}
+	// Nodes 0,1,2 down: objects 0 (0,1,2), 1 (1,2,3), 9 (9,0,1), 2 (2,3,4)...
+	down := func(n int) bool { return n <= 2 }
+	got := st.UnavailableCount(down)
+	// Object i occupies i, i+1, i+2 (mod 10); unavailable iff >= 2 of its
+	// nodes in {0,1,2}: objects 0, 1, 8(8,9,0)? no ->1 of set. obj 9: 9,0,1 -> 2. obj 2: 2,3,4 -> 1.
+	// So objects 0 (3 down), 1 (2 down), 9 (2 down) = 3 unavailable.
+	if got != 3 {
+		t.Fatalf("unavailable = %d, want 3", got)
+	}
+	if !st.AnyUnavailable(down) {
+		t.Fatal("AnyUnavailable false with 3 unavailable objects")
+	}
+	if st.AnyUnavailable(func(int) bool { return false }) {
+		t.Fatal("AnyUnavailable true with no failures")
+	}
+}
+
+func TestObjectsOn(t *testing.T) {
+	r := rng.New(9)
+	st, err := NewStore(flatView(10), RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddObjects(10, 1, ReplicationScheme(3), r); err != nil {
+		t.Fatal(err)
+	}
+	// Node 5 holds shards of objects 3, 4, 5 under round-robin.
+	objs := st.ObjectsOn(5)
+	if len(objs) != 3 {
+		t.Fatalf("node 5 holds %d objects, want 3", len(objs))
+	}
+	ids := map[int]bool{}
+	for _, o := range objs {
+		ids[o.ID] = true
+	}
+	for _, want := range []int{3, 4, 5} {
+		if !ids[want] {
+			t.Errorf("node 5 missing object %d", want)
+		}
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	r := rng.New(9)
+	st, err := NewStore(flatView(10), RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddObjects(1, 1, ReplicationScheme(3), r); err != nil {
+		t.Fatal(err)
+	}
+	obj := st.Objects()[0] // on 0,1,2
+	if err := st.Relocate(obj, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Locations[0] != 7 {
+		t.Fatalf("locations = %v, want [7 1 2]", obj.Locations)
+	}
+	if err := st.Relocate(obj, 0, 8); err == nil {
+		t.Error("relocating from a non-location succeeded")
+	}
+	if err := st.Relocate(obj, 1, 2); err == nil {
+		t.Error("relocating onto an existing location succeeded")
+	}
+	if err := st.Relocate(obj, 1, 99); err == nil {
+		t.Error("relocating out of range succeeded")
+	}
+}
+
+func TestAddObjectsValidation(t *testing.T) {
+	r := rng.New(1)
+	st, err := NewStore(flatView(3), Random{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddObjects(0, 1, ReplicationScheme(3), r); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if err := st.AddObjects(1, -1, ReplicationScheme(3), r); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := st.AddObjects(1, 1, ReplicationScheme(5), r); err == nil {
+		t.Error("scheme wider than cluster accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"random", "roundrobin", "rackaware"} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("PolicyByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPlacementPropertyRandomViews(t *testing.T) {
+	// Property: every policy returns count distinct in-range nodes for
+	// any feasible (view, count).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nodes := 2 + r.Intn(40)
+		count := 1 + r.Intn(nodes)
+		view := flatView(nodes)
+		for _, p := range []Policy{Random{}, RoundRobin{}} {
+			locs, err := p.Place(r.Intn(1000), count, view, r)
+			if err != nil {
+				return false
+			}
+			if distinct(locs, nodes) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

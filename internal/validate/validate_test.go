@@ -1,0 +1,104 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunAllPasses(t *testing.T) {
+	reports, err := RunAll(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 7 {
+		t.Fatalf("only %d validation reports", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("validation failed: %v", r)
+		}
+		if r.String() == "" {
+			t.Error("empty report string")
+		}
+	}
+}
+
+func TestMM1Validation(t *testing.T) {
+	r, err := MM1SojournTime(0.5, 1, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Errorf("M/M/1 validation failed: %v", r)
+	}
+	if math.Abs(r.Analytic-2) > 1e-9 {
+		t.Errorf("analytic W = %v, want 2", r.Analytic)
+	}
+	// Unstable parameters rejected.
+	if _, err := MM1SojournTime(2, 1, 100, 7); err == nil {
+		t.Error("unstable M/M/1 accepted")
+	}
+}
+
+func TestComponentAvailabilityValidation(t *testing.T) {
+	r, err := ComponentAvailability(1000, 10, 3_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Errorf("component availability validation failed: %v", r)
+	}
+	if _, err := ComponentAvailability(0, 1, 1, 1); err == nil {
+		t.Error("invalid mttf accepted")
+	}
+}
+
+func TestExponentialAssumptionErrorGrowsWithShapeDistance(t *testing.T) {
+	// §2.2: the further the interarrival/service distributions are from
+	// exponential, the worse the M/M/1 prediction of waiting time.
+	simExp, mm1Exp, err := ExponentialAssumptionError(1.0, 1.0, 0.8, 1, 300000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simW, mm1W, err := ExponentialAssumptionError(0.5, 1.2, 0.8, 1, 300000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errExp := relErr(simExp, mm1Exp)
+	errW := relErr(simW, mm1W)
+	if errExp > 0.1 {
+		t.Errorf("exponential case should validate well, rel err %v", errExp)
+	}
+	if errW < 2*errExp {
+		t.Errorf("Weibull(0.5)/LogNormal model error %v should far exceed exponential case %v",
+			errW, errExp)
+	}
+	// The M/M/1 model should specifically UNDER-predict: bursty arrivals
+	// (ca2 = 5 at shape 0.5) queue much more than Poisson.
+	if simW <= mm1W {
+		t.Errorf("G/G/1 wait %v should exceed M/M/1 prediction %v", simW, mm1W)
+	}
+	if _, _, err := ExponentialAssumptionError(-1, 1, 0.5, 1, 1, 1); err == nil {
+		t.Error("bad shape accepted")
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestFigure1ValidationErrorsOnMissingExact(t *testing.T) {
+	// RR closed form requires users >= N; users < N has no exact value.
+	_, err := Figure1Validation(core.Figure1Config{
+		N: 30, Replicas: 3, Failures: 2, Users: 5,
+		Placement: "roundrobin", Trials: 100, Seed: 1,
+	})
+	if err == nil {
+		t.Error("missing exact value did not error")
+	}
+}

@@ -1,0 +1,616 @@
+package wtql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/design"
+	"repro/internal/dist"
+	"repro/internal/hardware"
+	"repro/internal/repair"
+	"repro/internal/results"
+	"repro/internal/sla"
+	"repro/internal/storage"
+)
+
+// Parameter registry: every settable name, its applier onto a Scenario,
+// and whether it participates in VARY. This is the semantic-analysis
+// layer — unknown parameters are rejected before any simulation runs.
+
+type applier func(sc *core.Scenario, v any) error
+
+var paramAppliers = map[string]applier{
+	"cluster.racks": func(sc *core.Scenario, v any) error {
+		return setInt(&sc.Cluster.Racks, v, "cluster.racks")
+	},
+	"cluster.nodes_per_rack": func(sc *core.Scenario, v any) error {
+		return setInt(&sc.Cluster.NodesPerRack, v, "cluster.nodes_per_rack")
+	},
+	// cluster.nodes is the Figure-1 convenience: a flat cluster of N
+	// nodes (one logical rack).
+	"cluster.nodes": func(sc *core.Scenario, v any) error {
+		sc.Cluster.Racks = 1
+		return setInt(&sc.Cluster.NodesPerRack, v, "cluster.nodes")
+	},
+	"disk.spec": func(sc *core.Scenario, v any) error {
+		return setSpec(&sc.Cluster.DiskSpec, v, "disk.spec")
+	},
+	"disk.per_node": func(sc *core.Scenario, v any) error {
+		return setInt(&sc.Cluster.DisksPerNode, v, "disk.per_node")
+	},
+	"net.nic": func(sc *core.Scenario, v any) error {
+		return setSpec(&sc.Cluster.NICSpec, v, "net.nic")
+	},
+	"cpu.spec": func(sc *core.Scenario, v any) error {
+		return setSpec(&sc.Cluster.CPUSpec, v, "cpu.spec")
+	},
+	"mem.spec": func(sc *core.Scenario, v any) error {
+		return setSpec(&sc.Cluster.MemSpec, v, "mem.spec")
+	},
+	"storage.replication": func(sc *core.Scenario, v any) error {
+		var n int
+		if err := setInt(&n, v, "storage.replication"); err != nil {
+			return err
+		}
+		sc.Scheme = storage.ReplicationScheme(n)
+		return nil
+	},
+	"storage.placement": func(sc *core.Scenario, v any) error {
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("wtql: storage.placement wants a string, got %v", v)
+		}
+		sc.Placement = s
+		return nil
+	},
+	"repair.mode": func(sc *core.Scenario, v any) error {
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("wtql: repair.mode wants 'serial' or 'parallel', got %v", v)
+		}
+		switch s {
+		case "serial":
+			sc.Repair.Mode = repair.Serial
+		case "parallel":
+			sc.Repair.Mode = repair.Parallel
+			if sc.Repair.MaxConcurrent < 1 {
+				sc.Repair.MaxConcurrent = 8
+			}
+		default:
+			return fmt.Errorf("wtql: unknown repair.mode %q", s)
+		}
+		return nil
+	},
+	"repair.concurrency": func(sc *core.Scenario, v any) error {
+		return setInt(&sc.Repair.MaxConcurrent, v, "repair.concurrency")
+	},
+	"repair.detection_hours": func(sc *core.Scenario, v any) error {
+		f, ok := toFloat(v)
+		if !ok || f < 0 {
+			return fmt.Errorf("wtql: repair.detection_hours wants a non-negative number, got %v", v)
+		}
+		if f == 0 {
+			sc.Repair.Detection = nil
+			return nil
+		}
+		d, err := dist.NewDeterministic(f)
+		if err != nil {
+			return err
+		}
+		sc.Repair.Detection = d
+		return nil
+	},
+	"node.mttf_hours": func(sc *core.Scenario, v any) error {
+		f, ok := toFloat(v)
+		if !ok || f <= 0 {
+			return fmt.Errorf("wtql: node.mttf_hours wants a positive number, got %v", v)
+		}
+		d, err := dist.ExpMean(f)
+		if err != nil {
+			return err
+		}
+		sc.Cluster.NodeTTF = d
+		if sc.Cluster.NodeRepair == nil {
+			r, err := dist.LogNormalFromMoments(12, 1.2)
+			if err != nil {
+				return err
+			}
+			sc.Cluster.NodeRepair = r
+		}
+		return nil
+	},
+	"node.repair_hours": func(sc *core.Scenario, v any) error {
+		f, ok := toFloat(v)
+		if !ok || f <= 0 {
+			return fmt.Errorf("wtql: node.repair_hours wants a positive number, got %v", v)
+		}
+		d, err := dist.NewDeterministic(f)
+		if err != nil {
+			return err
+		}
+		sc.Cluster.NodeRepair = d
+		if sc.Cluster.NodeTTF == nil {
+			t, err := dist.ExpMean(10000)
+			if err != nil {
+				return err
+			}
+			sc.Cluster.NodeTTF = t
+		}
+		return nil
+	},
+	"users": func(sc *core.Scenario, v any) error {
+		return setInt(&sc.Users, v, "users")
+	},
+	"object_mb": func(sc *core.Scenario, v any) error {
+		f, ok := toFloat(v)
+		if !ok || f < 0 {
+			return fmt.Errorf("wtql: object_mb wants a non-negative number, got %v", v)
+		}
+		sc.ObjectSizeMB = f
+		return nil
+	},
+	"horizon_hours": func(sc *core.Scenario, v any) error {
+		f, ok := toFloat(v)
+		if !ok || f <= 0 {
+			return fmt.Errorf("wtql: horizon_hours wants a positive number, got %v", v)
+		}
+		sc.HorizonHours = f
+		return nil
+	},
+	"seed": func(sc *core.Scenario, v any) error {
+		f, ok := toFloat(v)
+		if !ok || f < 0 {
+			return fmt.Errorf("wtql: seed wants a non-negative number, got %v", v)
+		}
+		sc.Seed = uint64(f)
+		return nil
+	},
+}
+
+// execution-only parameters (not part of the scenario).
+var execParams = map[string]bool{"trials": true, "workers": true, "target_ci": true}
+
+func setInt(dst *int, v any, name string) error {
+	f, ok := toFloat(v)
+	if !ok || f != math.Trunc(f) || f < 0 {
+		return fmt.Errorf("wtql: %s wants a non-negative integer, got %v", name, v)
+	}
+	*dst = int(f)
+	return nil
+}
+
+func setSpec(dst *string, v any, name string) error {
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("wtql: %s wants a spec name string, got %v", name, v)
+	}
+	if _, err := hardware.DefaultCatalog().Get(s); err != nil {
+		return fmt.Errorf("wtql: %s: %w", name, err)
+	}
+	*dst = s
+	return nil
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// Row is one configuration's outcome.
+type Row struct {
+	Config  map[string]string
+	Metrics map[string]float64
+	Passed  bool
+	Pruned  bool
+}
+
+// ResultSet is a query's output.
+type ResultSet struct {
+	Query    *Query
+	Columns  []string
+	Rows     []Row
+	Executed int
+	Pruned   int
+}
+
+// Engine executes WTQL queries against the wind tunnel core.
+type Engine struct {
+	// Trials is the default per-point trial count (overridable per-query
+	// via WITH trials = n).
+	Trials int
+	// Workers bounds point-level parallelism when no MONOTONE dimension
+	// requests pruning.
+	Workers int
+	// Store, when non-nil, archives every executed configuration (§4.4:
+	// simulation output data is kept for later exploration and
+	// similar-configuration queries).
+	Store *results.Store
+}
+
+// Similar returns the k archived configurations nearest to config,
+// answering §4.4's "have I already explored a scenario similar to this
+// one?". It requires a Store.
+func (e *Engine) Similar(config map[string]string, k int) ([]results.Neighbor, error) {
+	if e.Store == nil {
+		return nil, fmt.Errorf("wtql: engine has no result store attached")
+	}
+	return e.Store.NearestK(config, k), nil
+}
+
+// Execute parses and runs a query.
+func (e *Engine) Execute(queryText string) (*ResultSet, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// Run executes a parsed query.
+func (e *Engine) Run(q *Query) (*ResultSet, error) {
+	if q.Metric != "availability" {
+		return nil, fmt.Errorf("wtql: unsupported SIMULATE target %q (only 'availability')", q.Metric)
+	}
+	trials := e.Trials
+	if trials < 1 {
+		trials = 5
+	}
+	workers := 0
+	targetCI := 0.0
+
+	base := core.DefaultScenario()
+	for _, a := range q.With {
+		switch a.Param {
+		case "trials":
+			if err := setInt(&trials, a.Value, "trials"); err != nil {
+				return nil, err
+			}
+		case "workers":
+			if err := setInt(&workers, a.Value, "workers"); err != nil {
+				return nil, err
+			}
+		case "target_ci":
+			f, ok := toFloat(a.Value)
+			if !ok || f < 0 {
+				return nil, fmt.Errorf("wtql: target_ci wants a non-negative number")
+			}
+			targetCI = f
+		default:
+			apply, ok := paramAppliers[a.Param]
+			if !ok {
+				return nil, fmt.Errorf("wtql: unknown parameter %q in WITH", a.Param)
+			}
+			if err := apply(&base, a.Value); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Plan the VARY clauses onto a design space.
+	if len(q.Vary) == 0 {
+		return nil, fmt.Errorf("wtql: query needs at least one VARY clause")
+	}
+	dims := make([]design.Dimension, 0, len(q.Vary))
+	prune := false
+	for _, vc := range q.Vary {
+		if execParams[vc.Param] {
+			return nil, fmt.Errorf("wtql: %q cannot be varied", vc.Param)
+		}
+		if _, ok := paramAppliers[vc.Param]; !ok {
+			return nil, fmt.Errorf("wtql: unknown parameter %q in VARY", vc.Param)
+		}
+		values := make([]design.Value, len(vc.Values))
+		for i, v := range vc.Values {
+			values[i] = design.Value(v)
+		}
+		dims = append(dims, design.Dimension{Name: vc.Param, Values: values, Monotone: vc.Monotone})
+		if vc.Monotone {
+			prune = true
+		}
+	}
+	space, err := design.NewSpace(dims...)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE splits into SLA-checkable constraints on 'sla.availability'
+	// (registered so pruning can use failures) plus a general post-filter.
+	var slas []sla.SLA
+	if q.Where != nil {
+		slas = extractAvailabilitySLAs(q.Where)
+	}
+
+	book := cost.DefaultPriceBook()
+	explorer := &core.Explorer{
+		Space: space,
+		Build: func(p design.Point) (core.Scenario, []sla.SLA, error) {
+			sc := base
+			sc.Name = p.Key()
+			for name, v := range p.Assignments() {
+				if err := paramAppliers[name](&sc, any(v)); err != nil {
+					return core.Scenario{}, nil, err
+				}
+			}
+			return sc, slas, nil
+		},
+		Runner:  core.Runner{Trials: trials, TargetCI: targetCI},
+		Prune:   prune,
+		Workers: workers,
+	}
+	exploration, err := explorer.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble rows.
+	rs := &ResultSet{Query: q, Executed: exploration.Executed, Pruned: exploration.Pruned}
+	for _, out := range exploration.Outcomes {
+		row := Row{
+			Config:  map[string]string{},
+			Metrics: map[string]float64{},
+			Pruned:  out.Pruned,
+		}
+		for name, v := range out.Point.Assignments() {
+			row.Config[name] = design.FormatValue(v)
+		}
+		if out.Pruned {
+			rs.Rows = append(rs.Rows, row)
+			continue
+		}
+		for k, v := range out.Result.Metrics {
+			row.Metrics[k] = v
+		}
+		// Cost metrics come from the pricing model, not the simulation.
+		sc := base
+		for name, v := range out.Point.Assignments() {
+			if err := paramAppliers[name](&sc, any(v)); err != nil {
+				return nil, err
+			}
+		}
+		breakdown, err := cost.Estimate(hardware.DefaultCatalog(), sc.Cluster, book, sc.HorizonHours)
+		if err != nil {
+			return nil, err
+		}
+		row.Metrics["cost.total"] = breakdown.TotalUSD()
+		row.Metrics["cost.capex"] = breakdown.CapexUSD
+		// storage.overhead is the redundancy expansion factor: the bytes
+		// a provider must provision per logical byte, the quantity §1's
+		// replication trade-off reduces.
+		row.Metrics["storage.overhead"] = sc.Scheme.Overhead()
+
+		passed := true
+		if q.Where != nil {
+			passed, err = evalExpr(q.Where, row)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row.Passed = passed
+		rs.Rows = append(rs.Rows, row)
+
+		if e.Store != nil {
+			if _, err := e.Store.Add(results.Record{
+				Scenario: q.Metric,
+				Config:   row.Config,
+				Metrics:  row.Metrics,
+				Seed:     base.Seed,
+				Trials:   trials,
+				AllMet:   passed,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ORDER BY and LIMIT apply to passing, executed rows first; pruned
+	// and failing rows are dropped from the final set.
+	var final []Row
+	for _, r := range rs.Rows {
+		if !r.Pruned && r.Passed {
+			final = append(final, r)
+		}
+	}
+	if q.OrderBy != "" {
+		key := q.OrderBy
+		sort.SliceStable(final, func(i, j int) bool {
+			vi, iok := final[i].Metrics[key]
+			vj, jok := final[j].Metrics[key]
+			if !iok || !jok {
+				return iok && !jok
+			}
+			if q.Desc {
+				return vi > vj
+			}
+			return vi < vj
+		})
+	}
+	if q.Limit > 0 && len(final) > q.Limit {
+		final = final[:q.Limit]
+	}
+	rs.Rows = final
+	rs.Columns = columnsFor(q, final)
+	return rs, nil
+}
+
+// extractAvailabilitySLAs lifts `sla.availability >= x` conjuncts out of
+// the WHERE tree so the explorer's pruner sees SLA failures.
+func extractAvailabilitySLAs(e Expr) []sla.SLA {
+	var out []sla.SLA
+	switch x := e.(type) {
+	case BinaryExpr:
+		if x.Op == "AND" {
+			out = append(out, extractAvailabilitySLAs(x.Left)...)
+			out = append(out, extractAvailabilitySLAs(x.Right)...)
+		}
+	case CompareExpr:
+		if x.Ident == "sla.availability" && (x.Op == ">=" || x.Op == ">") {
+			if f, ok := toFloat(x.Value); ok {
+				if a, err := sla.NewAvailability(f); err == nil {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// evalExpr evaluates a WHERE tree against a row.
+func evalExpr(e Expr, row Row) (bool, error) {
+	switch x := e.(type) {
+	case BinaryExpr:
+		l, err := evalExpr(x.Left, row)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalExpr(x.Right, row)
+		if err != nil {
+			return false, err
+		}
+		if x.Op == "AND" {
+			return l && r, nil
+		}
+		return l || r, nil
+	case NotExpr:
+		v, err := evalExpr(x.X, row)
+		return !v, err
+	case CompareExpr:
+		return evalCompare(x, row)
+	default:
+		return false, fmt.Errorf("wtql: unknown expression node %T", e)
+	}
+}
+
+func evalCompare(c CompareExpr, row Row) (bool, error) {
+	name := c.Ident
+	// sla.* aliases resolve to the underlying metric.
+	if name == "sla.availability" {
+		name = "availability"
+	}
+	if name == "sla.loss_prob" {
+		name = "loss_prob"
+	}
+	if v, ok := row.Metrics[name]; ok {
+		f, isNum := toFloat(c.Value)
+		if !isNum {
+			return false, fmt.Errorf("wtql: metric %q compared against non-number %v", c.Ident, c.Value)
+		}
+		return compareFloats(v, c.Op, f)
+	}
+	if s, ok := row.Config[name]; ok {
+		want := design.FormatValue(design.Value(c.Value))
+		switch c.Op {
+		case "=":
+			return s == want, nil
+		case "!=":
+			return s != want, nil
+		default:
+			f, isNum := toFloat(c.Value)
+			sf, err := parseNumber(s)
+			if isNum && err == nil {
+				return compareFloats(sf, c.Op, f)
+			}
+			return false, fmt.Errorf("wtql: config %q supports only = and != for strings", c.Ident)
+		}
+	}
+	return false, fmt.Errorf("wtql: unknown identifier %q in WHERE", c.Ident)
+}
+
+func parseNumber(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}
+
+func compareFloats(a float64, op string, b float64) (bool, error) {
+	switch op {
+	case "=":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	case "<":
+		return a < b, nil
+	case "<=":
+		return a <= b, nil
+	case ">":
+		return a > b, nil
+	case ">=":
+		return a >= b, nil
+	default:
+		return false, fmt.Errorf("wtql: unknown operator %q", op)
+	}
+}
+
+// columnsFor picks the display columns: varied dimensions, then the
+// simulated metric, cost and the ORDER BY key.
+func columnsFor(q *Query, rows []Row) []string {
+	var cols []string
+	for _, vc := range q.Vary {
+		cols = append(cols, vc.Param)
+	}
+	cols = append(cols, "availability", "loss_prob", "cost.total")
+	if q.OrderBy != "" {
+		found := false
+		for _, c := range cols {
+			if c == q.OrderBy {
+				found = true
+			}
+		}
+		if !found {
+			cols = append(cols, q.OrderBy)
+		}
+	}
+	return cols
+}
+
+// Render formats the result set as an aligned text table.
+func (rs *ResultSet) Render() string {
+	var b strings.Builder
+	widths := make([]int, len(rs.Columns))
+	for i, c := range rs.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rs.Rows))
+	for r, row := range rs.Rows {
+		cells[r] = make([]string, len(rs.Columns))
+		for i, c := range rs.Columns {
+			var v string
+			if s, ok := row.Config[c]; ok {
+				v = s
+			} else if f, ok := row.Metrics[c]; ok {
+				v = fmt.Sprintf("%.6g", f)
+			} else {
+				v = "-"
+			}
+			cells[r][i] = v
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	for i, c := range rs.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range rs.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for i, v := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%d rows; %d configurations executed, %d pruned)\n",
+		len(rs.Rows), rs.Executed, rs.Pruned)
+	return b.String()
+}

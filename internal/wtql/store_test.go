@@ -1,0 +1,64 @@
+package wtql
+
+import (
+	"testing"
+
+	"repro/internal/results"
+)
+
+const archiveQuery = `
+	SIMULATE availability
+	VARY storage.replication IN (2, 3)
+	WITH users = 30, trials = 1, horizon_hours = 500, object_mb = 5,
+	     cluster.racks = 1, cluster.nodes_per_rack = 5, seed = 3`
+
+func TestEngineArchivesExecutedConfigs(t *testing.T) {
+	store := results.NewStore()
+	e := &Engine{Store: store}
+	if _, err := e.Execute(archiveQuery); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("archived %d runs, want 2", store.Len())
+	}
+	for _, rec := range store.All() {
+		if rec.Config["storage.replication"] == "" {
+			t.Errorf("record missing config: %v", rec.Config)
+		}
+		if _, ok := rec.Metrics["availability"]; !ok {
+			t.Errorf("record missing availability metric")
+		}
+		if rec.Trials != 1 || rec.Seed != 3 {
+			t.Errorf("record trials/seed = %d/%d", rec.Trials, rec.Seed)
+		}
+	}
+}
+
+func TestEngineSimilarConfigurationSearch(t *testing.T) {
+	store := results.NewStore()
+	e := &Engine{Store: store}
+	if _, err := e.Execute(archiveQuery); err != nil {
+		t.Fatal(err)
+	}
+	// §4.4: "have I already explored a configuration similar to this?"
+	nn, err := e.Similar(map[string]string{"storage.replication": "3"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 1 {
+		t.Fatalf("got %d neighbors, want 1", len(nn))
+	}
+	if nn[0].Record.Config["storage.replication"] != "3" {
+		t.Errorf("nearest config = %v, want replication=3", nn[0].Record.Config)
+	}
+	// Without a store, Similar errors.
+	if _, err := (&Engine{}).Similar(nil, 1); err == nil {
+		t.Error("Similar without store accepted")
+	}
+}
+
+func TestEngineWithoutStoreStillWorks(t *testing.T) {
+	if _, err := (&Engine{}).Execute(archiveQuery); err != nil {
+		t.Fatal(err)
+	}
+}

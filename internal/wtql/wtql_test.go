@@ -1,0 +1,301 @@
+package wtql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SIMULATE availability VARY x IN (1, 'two') WHERE a >= 0.5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokKeyword, tokIdent, tokKeyword, tokIdent, tokKeyword,
+		tokLParen, tokNumber, tokComma, tokString, tokRParen,
+		tokKeyword, tokIdent, tokOp, tokNumber, tokSemicolon, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d: kind %d, want %d (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a ! b", "a @ b"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("1 2.5 1e-3 -4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", "1e-3", "-4"}
+	for i, w := range want {
+		if toks[i].kind != tokNumber || toks[i].text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+const fullQuery = `
+SIMULATE availability
+VARY cluster.nodes IN (10, 30),
+     storage.replication IN (3, 5) MONOTONE,
+     storage.placement IN ('random', 'roundrobin')
+WITH users = 1000, trials = 3, horizon_hours = 8766
+WHERE sla.availability >= 0.9 AND cost.total <= 10000000
+ORDER BY cost.total ASC
+LIMIT 3;
+`
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(fullQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Metric != "availability" {
+		t.Errorf("metric = %q", q.Metric)
+	}
+	if len(q.Vary) != 3 {
+		t.Fatalf("vary clauses = %d, want 3", len(q.Vary))
+	}
+	if q.Vary[0].Param != "cluster.nodes" || len(q.Vary[0].Values) != 2 {
+		t.Errorf("vary[0] = %+v", q.Vary[0])
+	}
+	if !q.Vary[1].Monotone {
+		t.Error("replication should be MONOTONE")
+	}
+	if q.Vary[2].Values[0] != "random" {
+		t.Errorf("vary[2] values = %v", q.Vary[2].Values)
+	}
+	if len(q.With) != 3 {
+		t.Errorf("with = %d, want 3", len(q.With))
+	}
+	if q.Where == nil {
+		t.Fatal("no WHERE parsed")
+	}
+	be, ok := q.Where.(BinaryExpr)
+	if !ok || be.Op != "AND" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	if q.OrderBy != "cost.total" || q.Desc {
+		t.Errorf("order by = %q desc=%v", q.OrderBy, q.Desc)
+	}
+	if q.Limit != 3 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	q, err := Parse("SIMULATE availability VARY users IN (1) WHERE a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AND binds tighter: OR(a=1, AND(b=2, c=3)).
+	or, ok := q.Where.(BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v, want OR", q.Where)
+	}
+	and, ok := or.Right.(BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %#v, want AND", or.Right)
+	}
+}
+
+func TestParseNotAndParens(t *testing.T) {
+	q, err := Parse("SIMULATE availability VARY users IN (1) WHERE NOT (a = 1 OR b = 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	not, ok := q.Where.(NotExpr)
+	if !ok {
+		t.Fatalf("top = %#v, want NOT", q.Where)
+	}
+	if _, ok := not.X.(BinaryExpr); !ok {
+		t.Fatalf("inner = %#v, want OR", not.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"VARY x IN (1)",
+		"SIMULATE",
+		"SIMULATE availability VARY x",
+		"SIMULATE availability VARY x IN ()",
+		"SIMULATE availability VARY x IN (1",
+		"SIMULATE availability WITH x 3",
+		"SIMULATE availability WHERE >= 3",
+		"SIMULATE availability ORDER x",
+		"SIMULATE availability LIMIT 0",
+		"SIMULATE availability LIMIT -1",
+		"SIMULATE availability; trailing",
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("Parse(%q) accepted", b)
+		}
+	}
+}
+
+func TestEvalCompare(t *testing.T) {
+	row := Row{
+		Config:  map[string]string{"storage.placement": "random", "cluster.nodes": "10"},
+		Metrics: map[string]float64{"availability": 0.995, "cost.total": 5000},
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"sla.availability >= 0.99", true},
+		{"sla.availability >= 0.999", false},
+		{"availability < 1", true},
+		{"cost.total <= 5000", true},
+		{"storage.placement = 'random'", true},
+		{"storage.placement != 'random'", false},
+		{"cluster.nodes >= 5", true},
+		{"cluster.nodes > 10", false},
+	}
+	for _, c := range cases {
+		q, err := Parse("SIMULATE availability VARY users IN (1) WHERE " + c.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		got, err := evalExpr(q.Where, row)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	// Unknown identifier errors.
+	q, err := Parse("SIMULATE availability VARY users IN (1) WHERE bogus = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := evalExpr(q.Where, row); err == nil {
+		t.Error("unknown identifier accepted")
+	}
+}
+
+func TestExtractAvailabilitySLAs(t *testing.T) {
+	q, err := Parse("SIMULATE availability VARY users IN (1) WHERE sla.availability >= 0.99 AND cost.total <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slas := extractAvailabilitySLAs(q.Where)
+	if len(slas) != 1 {
+		t.Fatalf("extracted %d SLAs, want 1", len(slas))
+	}
+	// OR'd constraints must NOT be extracted (not conjunctive).
+	q, err = Parse("SIMULATE availability VARY users IN (1) WHERE sla.availability >= 0.99 OR cost.total <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := extractAvailabilitySLAs(q.Where); len(got) != 0 {
+		t.Fatalf("extracted %d SLAs from OR, want 0", len(got))
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	e := &Engine{Trials: 2}
+	rs, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (3, 5) MONOTONE,
+		     storage.placement IN ('random', 'roundrobin')
+		WITH users = 50, trials = 2, horizon_hours = 1000,
+		     cluster.racks = 2, cluster.nodes_per_rack = 5, object_mb = 10
+		WHERE sla.availability >= 0.0
+		ORDER BY cost.total ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Executed == 0 {
+		t.Fatal("nothing executed")
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("no rows returned")
+	}
+	for _, row := range rs.Rows {
+		if _, ok := row.Metrics["availability"]; !ok {
+			t.Error("row missing availability metric")
+		}
+		if _, ok := row.Metrics["cost.total"]; !ok {
+			t.Error("row missing cost metric")
+		}
+	}
+	// Ordered ascending by cost.
+	for i := 1; i < len(rs.Rows); i++ {
+		if rs.Rows[i].Metrics["cost.total"] < rs.Rows[i-1].Metrics["cost.total"] {
+			t.Error("rows not ordered by cost")
+		}
+	}
+	table := rs.Render()
+	if !strings.Contains(table, "availability") || !strings.Contains(table, "rows") {
+		t.Errorf("table render missing headers:\n%s", table)
+	}
+}
+
+func TestEngineLimit(t *testing.T) {
+	e := &Engine{}
+	rs, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (3, 5)
+		WITH users = 20, trials = 1, horizon_hours = 500,
+		     cluster.racks = 1, cluster.nodes_per_rack = 6, object_mb = 5
+		LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (LIMIT)", len(rs.Rows))
+	}
+}
+
+func TestEngineRejectsBadQueries(t *testing.T) {
+	e := &Engine{}
+	bad := []string{
+		"SIMULATE latency VARY users IN (1)",                  // unsupported metric
+		"SIMULATE availability VARY bogus.param IN (1)",       // unknown vary param
+		"SIMULATE availability WITH users = 10",               // no VARY
+		"SIMULATE availability VARY trials IN (1, 2)",         // exec param varied
+		"SIMULATE availability VARY users IN (1) WITH q = 1",  // unknown with param
+		"SIMULATE availability VARY net.nic IN ('warp-coil')", // unknown spec
+	}
+	for _, b := range bad {
+		if _, err := e.Execute(b); err == nil {
+			t.Errorf("Execute(%q) accepted", b)
+		}
+	}
+}
+
+func TestEnginePruningViaMonotone(t *testing.T) {
+	// An unachievable availability bound with a MONOTONE dimension must
+	// prune at least one configuration.
+	e := &Engine{}
+	rs, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (2, 3) MONOTONE
+		WITH users = 50, trials = 1, horizon_hours = 2000, object_mb = 5,
+		     cluster.racks = 1, cluster.nodes_per_rack = 8,
+		     node.mttf_hours = 300, node.repair_hours = 24,
+		     repair.detection_hours = 50
+		WHERE sla.availability >= 0.99999999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Pruned == 0 {
+		t.Fatalf("no configurations pruned (executed %d)", rs.Executed)
+	}
+	if len(rs.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0 (nothing passes)", len(rs.Rows))
+	}
+}

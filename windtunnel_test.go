@@ -1,0 +1,82 @@
+package windtunnel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Users = 100
+	sc.HorizonHours = 1000
+	res, err := Run(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 2 {
+		t.Fatalf("trials = %d, want 2", res.Trials)
+	}
+	if _, err := res.Metric("availability"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFigure1(t *testing.T) {
+	res, err := Figure1(Figure1Config{
+		N: 10, Replicas: 3, Failures: 2, Users: 10000,
+		Placement: "roundrobin", Trials: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact < 0 {
+		t.Fatal("exact value missing")
+	}
+	if res.Probability < res.CILo || res.Probability > res.CIHi {
+		t.Fatal("estimate outside its own CI")
+	}
+}
+
+func TestFacadeQuery(t *testing.T) {
+	rs, err := Query(`
+		SIMULATE availability
+		VARY storage.replication IN (3)
+		WITH users = 30, trials = 1, horizon_hours = 500, object_mb = 5,
+		     cluster.racks = 1, cluster.nodes_per_rack = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Executed != 1 {
+		t.Fatalf("executed = %d, want 1", rs.Executed)
+	}
+	if !strings.Contains(rs.Render(), "availability") {
+		t.Fatal("render missing availability column")
+	}
+}
+
+func TestFacadeSLAs(t *testing.T) {
+	if _, err := AvailabilitySLA(0.999); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AvailabilitySLA(2); err == nil {
+		t.Fatal("invalid availability accepted")
+	}
+	if _, err := DurabilitySLA(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation suite is slow")
+	}
+	reports, err := Validate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("validation failure: %v", r)
+		}
+	}
+}
