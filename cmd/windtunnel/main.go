@@ -15,6 +15,9 @@
 //	  "nic_spec": "nic-10g", "cpu_spec": "cpu-8c", "mem_spec": "mem-64g",
 //	  "switch_spec": "switch-48p-10g",
 //	  "node_mttf_hours": 12000, "node_repair_hours": 12,
+//	  "node_ttf": "weibull(shape=0.7, scale=8760)",
+//	  "node_repair": "lognormal(mean=12, cv=1.2)",
+//	  "detection": "det(2)",
 //	  "users": 1000, "object_mb": 200,
 //	  "replication": 3, "rs_k": 0, "rs_m": 0,
 //	  "placement": "random",
@@ -43,27 +46,30 @@ import (
 
 // scenarioSpec is the JSON-friendly scenario description.
 type scenarioSpec struct {
-	Racks             int     `json:"racks"`
-	NodesPerRack      int     `json:"nodes_per_rack"`
-	DiskSpec          string  `json:"disk_spec"`
-	DisksPerNode      int     `json:"disks_per_node"`
-	NICSpec           string  `json:"nic_spec"`
-	CPUSpec           string  `json:"cpu_spec"`
-	MemSpec           string  `json:"mem_spec"`
-	SwitchSpec        string  `json:"switch_spec"`
-	NodeMTTFHours     float64 `json:"node_mttf_hours"`
-	NodeRepairHours   float64 `json:"node_repair_hours"`
-	Users             int     `json:"users"`
-	ObjectMB          float64 `json:"object_mb"`
-	Replication       int     `json:"replication"`
-	RSK               int     `json:"rs_k"`
-	RSM               int     `json:"rs_m"`
-	Placement         string  `json:"placement"`
-	RepairMode        string  `json:"repair_mode"`
-	RepairConcurrency int     `json:"repair_concurrency"`
-	DetectionHours    float64 `json:"detection_hours"`
-	HorizonHours      float64 `json:"horizon_hours"`
-	Seed              uint64  `json:"seed"`
+	Racks             int       `json:"racks"`
+	NodesPerRack      int       `json:"nodes_per_rack"`
+	DiskSpec          string    `json:"disk_spec"`
+	DisksPerNode      int       `json:"disks_per_node"`
+	NICSpec           string    `json:"nic_spec"`
+	CPUSpec           string    `json:"cpu_spec"`
+	MemSpec           string    `json:"mem_spec"`
+	SwitchSpec        string    `json:"switch_spec"`
+	NodeMTTFHours     float64   `json:"node_mttf_hours"`
+	NodeRepairHours   float64   `json:"node_repair_hours"`
+	NodeTTF           dist.Spec `json:"node_ttf"`
+	NodeRepair        dist.Spec `json:"node_repair"`
+	Detection         dist.Spec `json:"detection"`
+	Users             int       `json:"users"`
+	ObjectMB          float64   `json:"object_mb"`
+	Replication       int       `json:"replication"`
+	RSK               int       `json:"rs_k"`
+	RSM               int       `json:"rs_m"`
+	Placement         string    `json:"placement"`
+	RepairMode        string    `json:"repair_mode"`
+	RepairConcurrency int       `json:"repair_concurrency"`
+	DetectionHours    float64   `json:"detection_hours"`
+	HorizonHours      float64   `json:"horizon_hours"`
+	Seed              uint64    `json:"seed"`
 }
 
 // apply overlays the non-zero spec fields onto the default scenario.
@@ -107,6 +113,15 @@ func (sp scenarioSpec) apply() (windtunnel.Scenario, error) {
 		}
 		sc.Cluster.NodeRepair = d
 	}
+	// Full distribution specs win over the *_hours conveniences, so a
+	// scenario can declare any failure model the dist grammar expresses.
+	// (Parsing already happened during json.Unmarshal via dist.Spec.)
+	if sp.NodeTTF.Dist != nil {
+		sc.Cluster.NodeTTF = sp.NodeTTF.Dist
+	}
+	if sp.NodeRepair.Dist != nil {
+		sc.Cluster.NodeRepair = sp.NodeRepair.Dist
+	}
 	if sp.Users > 0 {
 		sc.Users = sp.Users
 	}
@@ -140,6 +155,11 @@ func (sp scenarioSpec) apply() (windtunnel.Scenario, error) {
 			return sc, err
 		}
 		sc.Repair.Detection = d
+	}
+	// As with node_ttf/node_repair, the full detection spec wins over
+	// detection_hours.
+	if sp.Detection.Dist != nil {
+		sc.Repair.Detection = sp.Detection.Dist
 	}
 	if sp.HorizonHours > 0 {
 		sc.HorizonHours = sp.HorizonHours

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"repro/internal/repair"
@@ -82,5 +83,48 @@ func TestScenarioSpecReplicationOverlay(t *testing.T) {
 	}
 	if sc.Scheme.String() != "rep-5" {
 		t.Errorf("scheme = %v, want rep-5", sc.Scheme)
+	}
+}
+
+func TestScenarioSpecDistOverrides(t *testing.T) {
+	raw := `{
+	  "node_mttf_hours": 5000,
+	  "node_ttf": "weibull(shape=0.7, scale=8760)",
+	  "node_repair": "mix(0.8*lognormal(mean=4, cv=1), 0.2*det(48))",
+	  "detection_hours": 5,
+	  "detection": "det(2)"
+	}`
+	var spec scenarioSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The explicit spec string must win over node_mttf_hours.
+	want := 8760 * math.Gamma(1+1/0.7)
+	if got := sc.Cluster.NodeTTF.Mean(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("node TTF mean = %v, want %v (spec string should win)", got, want)
+	}
+	// 0.8 * 4 + 0.2 * 48 = 12.8 hours.
+	if got := sc.Cluster.NodeRepair.Mean(); math.Abs(got-12.8) > 1e-9 {
+		t.Errorf("node repair mean = %v, want 12.8", got)
+	}
+	// The detection spec string wins over detection_hours too.
+	if got := sc.Repair.Detection.Mean(); got != 2 {
+		t.Errorf("detection mean = %v, want 2 (spec string should win over detection_hours)", got)
+	}
+	// Bad specs are rejected at JSON decode time by dist.Spec.
+	for _, bad := range []string{
+		`{"node_ttf": "frechet(1, 2)"}`,
+		`{"node_repair": "weibull(shape=0)"}`,
+		`{"detection": "det("}`,
+		`{"node_ttf": 42}`,
+	} {
+		var sp scenarioSpec
+		if err := json.Unmarshal([]byte(bad), &sp); err == nil {
+			t.Errorf("bad spec %s accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkDistSample is the sampling hot-path baseline: every
+// simulated failure, repair, arrival and service demand draws from one
+// of these. Run with:
+//
+//	go test -bench=DistSample -benchmem ./internal/dist
+func BenchmarkDistSample(b *testing.B) {
+	mix := Must(NewMixture([]Component{
+		{Weight: 0.8, Dist: Must(ExpMean(2))},
+		{Weight: 0.2, Dist: Must(NewLogNormal(3, 0.5))},
+	}))
+	emp := Must(NewEmpirical(func() []float64 {
+		r := rng.New(99)
+		xs := make([]float64, 10_000)
+		e := Must(ExpMean(12))
+		for i := range xs {
+			xs[i] = e.Sample(r)
+		}
+		return xs
+	}()))
+	cases := []struct {
+		name string
+		d    Dist
+	}{
+		{"weibull", Must(NewWeibull(0.7, 1500))},
+		{"lognormal", Must(NewLogNormal(2.0, 0.8))},
+		{"exponential", Must(ExpMean(500))},
+		{"deterministic", Must(NewDeterministic(12))},
+		{"gamma", Must(NewGamma(0.5, 10))},
+		{"pareto", Must(NewPareto(2, 4))},
+		{"empirical", emp},
+		{"mixture", mix},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			r := rng.New(1)
+			var sink float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += c.d.Sample(r)
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkFitBest measures one full calibration pass over a 5000-point
+// duration sample.
+func BenchmarkFitBest(b *testing.B) {
+	r := rng.New(7)
+	truth := Must(NewWeibull(0.7, 1500))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = truth.Sample(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fits := FitBest(xs); len(fits) == 0 {
+			b.Fatal("no fits")
+		}
+	}
+}
+
+// BenchmarkParse measures spec-string parsing (scenario-load path).
+func BenchmarkParse(b *testing.B) {
+	const spec = "mix(0.8*exp(mean=2), 0.2*weibull(shape=0.7, scale=100))"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink float64

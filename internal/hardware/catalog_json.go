@@ -1,0 +1,95 @@
+package hardware
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// specJSON is the declarative form of a Spec: failure models are dist
+// spec strings ("weibull(shape=0.7, scale=8760)"), so catalogs can be
+// shipped as data files and calibrated without recompiling.
+type specJSON struct {
+	Name           string    `json:"name"`
+	Kind           string    `json:"kind"`
+	CapacityGB     float64   `json:"capacity_gb"`
+	ThroughputMBps float64   `json:"throughput_mbps"`
+	IOPS           float64   `json:"iops"`
+	Cores          int       `json:"cores"`
+	Ports          int       `json:"ports"`
+	CostUSD        float64   `json:"cost_usd"`
+	PowerWatts     float64   `json:"power_watts"`
+	TTF            dist.Spec `json:"ttf"`
+	Repair         dist.Spec `json:"repair"`
+}
+
+// kindFromString maps the JSON kind names (the Kind.String() values)
+// back to Kinds.
+func kindFromString(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("hardware: unknown kind %q", s)
+}
+
+// LoadJSON registers every spec in data — a JSON array of declarative
+// specs — into the catalog. Example element:
+//
+//	{
+//	  "name": "hdd-archive", "kind": "disk",
+//	  "capacity_gb": 8000, "throughput_mbps": 180, "iops": 100,
+//	  "cost_usd": 250, "power_watts": 9,
+//	  "ttf": "weibull(shape=0.7, scale=250000)",
+//	  "repair": "lognormal(mean=16, cv=1.2)"
+//	}
+//
+// Each spec is validated (including the usual duplicate-name check)
+// before registration; the first error aborts the load.
+// The load is atomic: every entry is validated (against the catalog
+// and the batch itself) before any is registered, so a failed load
+// leaves the catalog untouched and can be retried after fixing the
+// file.
+func (c *Catalog) LoadJSON(data []byte) error {
+	var raw []specJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("hardware: parsing catalog JSON: %w", err)
+	}
+	specs := make([]Spec, 0, len(raw))
+	seen := make(map[string]bool, len(raw))
+	for i, sj := range raw {
+		kind, err := kindFromString(sj.Kind)
+		if err != nil {
+			return fmt.Errorf("hardware: catalog entry %d (%q): %w", i, sj.Name, err)
+		}
+		sp := Spec{
+			Name:           sj.Name,
+			Kind:           kind,
+			CapacityGB:     sj.CapacityGB,
+			ThroughputMBps: sj.ThroughputMBps,
+			IOPS:           sj.IOPS,
+			Cores:          sj.Cores,
+			Ports:          sj.Ports,
+			CostUSD:        sj.CostUSD,
+			PowerWatts:     sj.PowerWatts,
+			TTF:            sj.TTF.Dist,
+			Repair:         sj.Repair.Dist,
+		}
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("hardware: catalog entry %d: %w", i, err)
+		}
+		if _, dup := c.specs[sp.Name]; dup || seen[sp.Name] {
+			return fmt.Errorf("hardware: catalog entry %d: duplicate spec %q", i, sp.Name)
+		}
+		seen[sp.Name] = true
+		specs = append(specs, sp)
+	}
+	for _, sp := range specs {
+		if err := c.Add(sp); err != nil {
+			return fmt.Errorf("hardware: catalog entry %q: %w", sp.Name, err)
+		}
+	}
+	return nil
+}

@@ -104,6 +104,18 @@ var paramAppliers = map[string]applier{
 		sc.Repair.Detection = d
 		return nil
 	},
+	// node.ttf / node.repair / repair.detection accept full dist spec
+	// strings — "weibull(shape=0.7, scale=8760)", "mix(...)", etc. — so
+	// queries can sweep arbitrary failure models, not just means.
+	"node.ttf": func(sc *core.Scenario, v any) error {
+		return setDist(&sc.Cluster.NodeTTF, v, "node.ttf")
+	},
+	"node.repair": func(sc *core.Scenario, v any) error {
+		return setDist(&sc.Cluster.NodeRepair, v, "node.repair")
+	},
+	"repair.detection": func(sc *core.Scenario, v any) error {
+		return setDist(&sc.Repair.Detection, v, "repair.detection")
+	},
 	"node.mttf_hours": func(sc *core.Scenario, v any) error {
 		f, ok := toFloat(v)
 		if !ok || f <= 0 {
@@ -180,6 +192,19 @@ func setInt(dst *int, v any, name string) error {
 		return fmt.Errorf("wtql: %s wants a non-negative integer, got %v", name, v)
 	}
 	*dst = int(f)
+	return nil
+}
+
+func setDist(dst *dist.Dist, v any, name string) error {
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("wtql: %s wants a distribution spec string, got %v", name, v)
+	}
+	d, err := dist.Parse(s)
+	if err != nil {
+		return fmt.Errorf("wtql: %s: %w", name, err)
+	}
+	*dst = d
 	return nil
 }
 

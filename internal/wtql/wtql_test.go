@@ -299,3 +299,33 @@ func TestEnginePruningViaMonotone(t *testing.T) {
 		t.Fatalf("rows = %d, want 0 (nothing passes)", len(rs.Rows))
 	}
 }
+
+func TestEngineDistSpecParams(t *testing.T) {
+	// node.ttf / node.repair / repair.detection take full distribution
+	// spec strings, so scenarios can declare arbitrary failure models.
+	e := &Engine{}
+	rs, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (1, 3)
+		WITH users = 20, trials = 1, horizon_hours = 500, object_mb = 5,
+		     cluster.racks = 1, cluster.nodes_per_rack = 6,
+		     node.ttf = 'weibull(shape=0.7, scale=600)',
+		     node.repair = 'mix(0.8*lognormal(mean=4, cv=1), 0.2*det(48))',
+		     repair.detection = 'det(1)'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Executed != 2 || len(rs.Rows) != 2 {
+		t.Fatalf("executed %d rows %d, want 2 and 2", rs.Executed, len(rs.Rows))
+	}
+	bad := []string{
+		"SIMULATE availability VARY users IN (20) WITH node.ttf = 'frechet(1, 2)'",
+		"SIMULATE availability VARY users IN (20) WITH node.ttf = 5",
+		"SIMULATE availability VARY users IN (20) WITH node.repair = 'weibull(shape=0)'",
+	}
+	for _, b := range bad {
+		if _, err := e.Execute(b); err == nil {
+			t.Errorf("Execute(%q) accepted", b)
+		}
+	}
+}
