@@ -277,6 +277,34 @@ func BenchmarkRSEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkRSEncodeInto measures the steady-state encode path: RS(10,4)
+// over 64 KiB shards into a reused parity buffer (0 allocs/op).
+func BenchmarkRSEncodeInto(b *testing.B) {
+	code, err := storage.NewRSCode(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, 64<<10)
+		for j := range data[i] {
+			data[i][j] = byte(r.Intn(256))
+		}
+	}
+	parity := make([][]byte, 4)
+	for i := range parity {
+		parity[i] = make([]byte, 64<<10)
+	}
+	b.SetBytes(int64(10 * 64 << 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.EncodeInto(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFitting measures one E9 log-generation + fit pipeline.
 func BenchmarkFitting(b *testing.B) {
 	for i := 0; i < b.N; i++ {

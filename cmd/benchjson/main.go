@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output into the JSON
+// baseline format tracked in BENCH_BASELINE.json / BENCH_PR.json (see
+// EXPERIMENTS.md). It reads benchmark output from stdin (or a file given
+// with -in) and writes a JSON object mapping benchmark name to its
+// measured ns/op, B/op, allocs/op and MB/s, so successive PRs can diff
+// perf trajectories mechanically.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson -out BENCH_PR.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result holds the measurements for one benchmark.
+type Result struct {
+	Iterations int64    `json:"iterations"`
+	NsPerOp    float64  `json:"ns_per_op"`
+	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec   *float64 `json:"mb_per_sec,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines found in input"))
+	}
+
+	// encoding/json sorts map keys, so the output is stable as-is.
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// Parse extracts benchmark results from `go test -bench` output. A
+// benchmark appearing multiple times (e.g. -count > 1) keeps the fastest
+// ns/op, the conventional choice for regression tracking.
+func Parse(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  1234  970.5 ns/op [12 B/op] [3 allocs/op] [640 MB/s] ...
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				res.BytesPerOp = ptr(v)
+			case "allocs/op":
+				res.AllocsOp = ptr(v)
+			case "MB/s":
+				res.MBPerSec = ptr(v)
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := results[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			results[name] = res
+		}
+	}
+	return results, sc.Err()
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/design"
 	"repro/internal/sla"
@@ -54,21 +55,57 @@ func (e *Exploration) Best() (PointOutcome, error) {
 
 // Explorer sweeps a design space, building a scenario per point and
 // running it (§4.2's "queries to the wind tunnel ... iterate over a vast
-// design space"). With Prune enabled, points are visited in the space's
-// best-first order and the dominance rule skips guaranteed failures;
-// otherwise points run concurrently on Workers goroutines.
+// design space"). Points run on a persistent worker pool and their
+// outcomes are committed strictly in the space's point order, so a sweep
+// is bit-identical for any Workers setting. With Prune enabled, points
+// are visited in the space's best-first order and §4.2's dominance rule
+// skips guaranteed failures; pruning composes with the worker pool by
+// running uncertain points speculatively — dominance only ever grows as
+// failures are committed, so a point a worker observes as dominated stays
+// dominated at commit time, and a speculatively-run point that commits as
+// dominated is discarded exactly as the sequential order would have.
 type Explorer struct {
 	Space *design.Space
 	// Build maps a design point to a runnable scenario and its SLAs.
 	Build func(p design.Point) (Scenario, []sla.SLA, error)
 	// Runner configures trial replication per point.
 	Runner Runner
-	// Prune enables §4.2 dominance pruning (forces sequential points).
+	// Prune enables §4.2 dominance pruning.
 	Prune bool
-	// Workers bounds point-level parallelism when not pruning.
+	// Workers bounds point-level parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Objective, when non-nil, scores passing points (lower = better).
 	Objective func(p design.Point, r *RunResult) (float64, error)
+}
+
+// indexedPoint pairs a point outcome with its order index.
+type indexedPoint struct {
+	idx int
+	out PointOutcome
+	err error
+	ran bool // false when the worker skipped a dominated point
+}
+
+// sharedPruner serializes pruner access between workers and the
+// committer.
+type sharedPruner struct {
+	mu sync.Mutex
+	pr *design.Pruner
+}
+
+func (s *sharedPruner) dominated(p design.Point) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pr.Dominated(p)
+}
+
+func (s *sharedPruner) recordFailure(p design.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pr.RecordFailure(p)
 }
 
 // Run executes the sweep.
@@ -77,68 +114,114 @@ func (e *Explorer) Run() (*Exploration, error) {
 		return nil, fmt.Errorf("core: explorer needs a space and a build function")
 	}
 	points := e.Space.Points()
-	if e.Prune {
-		return e.runSequential(points)
-	}
-	return e.runParallel(points)
-}
-
-// runSequential visits points best-first with dominance pruning.
-func (e *Explorer) runSequential(points []design.Point) (*Exploration, error) {
-	pruner := design.NewPruner(e.Space)
-	exp := &Exploration{}
-	for _, p := range points {
-		if pruner.Dominated(p) {
-			exp.Outcomes = append(exp.Outcomes, PointOutcome{Point: p, Pruned: true})
-			exp.Pruned++
-			continue
-		}
-		out, err := e.runPoint(p)
-		if err != nil {
-			return nil, err
-		}
-		exp.Executed++
-		exp.Events += out.Result.EventsTotal
-		if !out.AllMet {
-			pruner.RecordFailure(p)
-		}
-		exp.Outcomes = append(exp.Outcomes, out)
-	}
-	return exp, nil
-}
-
-// runParallel fans points out over a worker pool.
-func (e *Explorer) runParallel(points []design.Point) (*Exploration, error) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type slot struct {
-		out PointOutcome
-		err error
+	if workers > len(points) {
+		workers = len(points)
 	}
-	results := make([]slot, len(points))
+	if len(points) == 0 {
+		return &Exploration{}, nil
+	}
+
+	var pruner *sharedPruner
+	if e.Prune {
+		pruner = &sharedPruner{pr: design.NewPruner(e.Space)}
+	}
+
+	var next atomic.Int64
+	stop := make(chan struct{})
+	results := make(chan indexedPoint, workers)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, p := range points {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, p design.Point) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out, err := e.runPoint(p)
-			results[i] = slot{out: out, err: err}
-		}(i, p)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(points) {
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := points[i]
+				var res indexedPoint
+				if pruner.dominated(p) {
+					// Committed failures only grow, so this point is
+					// guaranteed to still be dominated at commit time.
+					res = indexedPoint{idx: i, out: PointOutcome{Point: p, Pruned: true}}
+				} else {
+					out, err := e.runPoint(p)
+					res = indexedPoint{idx: i, out: out, err: err, ran: true}
+				}
+				select {
+				case results <- res:
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Commit outcomes in point order. Under pruning, the dominance test is
+	// re-evaluated here against exactly the failures committed so far —
+	// the same information the sequential best-first visit would have — so
+	// a speculative result for a point that should have been skipped is
+	// discarded, keeping Executed/Pruned/Events identical to a Workers=1
+	// sweep.
 	exp := &Exploration{}
-	for _, s := range results {
-		if s.err != nil {
-			return nil, s.err
+	var (
+		reorder    = make(map[int]indexedPoint)
+		nextCommit = 0
+		stopped    = false
+		firstErr   error
+	)
+	for res := range results {
+		if stopped {
+			continue
 		}
-		exp.Executed++
-		exp.Events += s.out.Result.EventsTotal
-		exp.Outcomes = append(exp.Outcomes, s.out)
+		reorder[res.idx] = res
+		for !stopped {
+			r, ok := reorder[nextCommit]
+			if !ok {
+				break
+			}
+			delete(reorder, nextCommit)
+			nextCommit++
+			if r.err != nil {
+				firstErr = r.err
+				stopped = true
+				close(stop)
+				break
+			}
+			if pruner != nil && pruner.dominated(r.out.Point) {
+				exp.Outcomes = append(exp.Outcomes, PointOutcome{Point: r.out.Point, Pruned: true})
+				exp.Pruned++
+				continue
+			}
+			if !r.ran {
+				// Worker skipped it as dominated but commit-time state
+				// disagrees: impossible, since dominance is monotone.
+				panic("core: speculative prune skipped a non-dominated point")
+			}
+			exp.Executed++
+			exp.Events += r.out.Result.EventsTotal
+			if pruner != nil && !r.out.AllMet {
+				pruner.recordFailure(r.out.Point)
+			}
+			exp.Outcomes = append(exp.Outcomes, r.out)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return exp, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/hardware"
@@ -27,13 +28,16 @@ type AbortRule struct {
 	CheckEvery uint64
 }
 
-// Runner executes replicated trials of a scenario.
+// Runner executes replicated trials of a scenario on a persistent worker
+// pool. Trials stream back as they finish and are aggregated strictly in
+// trial-index order, so results are bit-identical regardless of Workers.
 type Runner struct {
 	// Trials is the maximum number of trials (>= 1).
 	Trials int
 	// TargetCI, when positive, stops early once the 95% confidence
-	// half-width of the availability estimate drops below it (checked
-	// after each batch of Workers trials).
+	// half-width of the availability estimate drops below it. The check
+	// runs as each trial's result is committed (in trial-index order), so
+	// the stopping trial count does not depend on Workers.
 	TargetCI float64
 	// Workers bounds trial-level parallelism (0 = GOMAXPROCS).
 	Workers int
@@ -57,6 +61,12 @@ type trialOutcome struct {
 	repairMakespan float64
 	aborted        bool
 	err            error
+}
+
+// indexedOutcome pairs a trial result with its index for in-order commit.
+type indexedOutcome struct {
+	idx int
+	out trialOutcome
 }
 
 // Run executes the scenario.
@@ -89,25 +99,70 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 		tenantAvail []float64
 	)
 
-	trial := 0
-	for trial < r.Trials {
-		batch := workers
-		if trial+batch > r.Trials {
-			batch = r.Trials - trial
-		}
-		outs := make([]trialOutcome, batch)
-		var wg sync.WaitGroup
-		for i := 0; i < batch; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				outs[i] = r.runTrial(sc, uint64(trial+i))
-			}(i)
-		}
+	// Persistent worker pool: each worker claims the next unstarted trial
+	// index and streams its outcome back; nothing waits for a batch.
+	var next atomic.Int64
+	stop := make(chan struct{}) // closed to halt workers after early stop
+	results := make(chan indexedOutcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= r.Trials {
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out := r.runTrial(sc, uint64(i))
+				select {
+				case results <- indexedOutcome{idx: i, out: out}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
 		wg.Wait()
-		for _, o := range outs {
+		close(results)
+	}()
+
+	// Commit results strictly in trial-index order via a reorder buffer;
+	// the early-stop decision is therefore a pure function of the seed.
+	var (
+		reorder    = make(map[int]trialOutcome)
+		nextCommit = 0
+		stopped    = false
+		firstErr   error
+	)
+	halt := func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+		}
+	}
+	for res := range results {
+		if stopped {
+			continue // drain workers already in flight
+		}
+		reorder[res.idx] = res.out
+		for !stopped {
+			o, ok := reorder[nextCommit]
+			if !ok {
+				break
+			}
+			delete(reorder, nextCommit)
+			nextCommit++
 			if o.err != nil {
-				return nil, o.err
+				firstErr = o.err
+				halt()
+				break
 			}
 			avail.Add(o.availability)
 			zeroCopy.Add(o.zeroCopy)
@@ -122,11 +177,13 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 			if o.aborted {
 				aborted++
 			}
+			if r.TargetCI > 0 && avail.N() >= 2 && avail.CI(0.05) < r.TargetCI {
+				halt()
+			}
 		}
-		trial += batch
-		if r.TargetCI > 0 && avail.N() >= 2 && avail.CI(0.05) < r.TargetCI {
-			break
-		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	res := &RunResult{

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/dist"
+	"repro/internal/sla"
+	"repro/internal/storage"
+)
+
+// TestRunnerTargetCIDeterministic pins the streaming scheduler's
+// early-stop contract: because trial results commit in trial-index order,
+// the stopping trial count is a pure function of the seed, not of the
+// worker count or of arrival timing.
+func TestRunnerTargetCIDeterministic(t *testing.T) {
+	sc := quickScenario()
+	sc.Seed = 777
+	run := func(workers int) *RunResult {
+		res, err := Runner{Trials: 12, Workers: workers, TargetCI: 0.01}.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(1)
+	for _, w := range []int{2, 4} {
+		b := run(w)
+		if a.Trials != b.Trials {
+			t.Fatalf("workers=%d stopped after %d trials, workers=1 after %d", w, b.Trials, a.Trials)
+		}
+		for _, m := range []string{"availability", "repairs", "node_failures", "events"} {
+			if a.Metrics[m] != b.Metrics[m] {
+				t.Fatalf("workers=%d diverges on %s: %v vs %v", w, m, b.Metrics[m], a.Metrics[m])
+			}
+		}
+		if a.EventsTotal != b.EventsTotal {
+			t.Fatalf("workers=%d EventsTotal %d vs %d", w, b.EventsTotal, a.EventsTotal)
+		}
+	}
+	if a.Trials >= 12 {
+		t.Fatalf("TargetCI never triggered (ran all %d trials); test needs a looser target", a.Trials)
+	}
+}
+
+// TestExplorerSpeculativePruneMatchesSequential checks that dominance
+// pruning composes with the worker pool: a parallel pruned sweep must
+// produce the same outcomes, executed/pruned counts and event totals as
+// the sequential best-first visit.
+func TestExplorerSpeculativePruneMatchesSequential(t *testing.T) {
+	space, err := design.NewSpace(
+		design.Dimension{Name: "replicas", Values: []design.Value{2, 3, 5}, Monotone: true},
+		design.Dimension{Name: "placement", Values: []design.Value{"random", "roundrobin"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := sla.NewAvailability(0.99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(p design.Point) (Scenario, []sla.SLA, error) {
+		sc := quickScenario()
+		sc.Seed = 4242
+		sc.Cluster.NodeTTF = dist.Must(dist.ExpMean(300))
+		sc.Scheme = storage.ReplicationScheme(p.MustValue("replicas").(int))
+		sc.Placement = p.MustValue("placement").(string)
+		return sc, []sla.SLA{target}, nil
+	}
+	run := func(workers int) *Exploration {
+		ex := &Explorer{
+			Space: space, Build: build,
+			Runner:  Runner{Trials: 2, Workers: 1},
+			Prune:   true,
+			Workers: workers,
+		}
+		res, err := ex.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	if seq.Pruned == 0 {
+		t.Fatal("scenario prunes nothing; test needs a harsher SLA")
+	}
+	par := run(4)
+	if par.Executed != seq.Executed || par.Pruned != seq.Pruned || par.Events != seq.Events {
+		t.Fatalf("parallel prune diverged: executed %d/%d, pruned %d/%d, events %d/%d",
+			par.Executed, seq.Executed, par.Pruned, seq.Pruned, par.Events, seq.Events)
+	}
+	if len(par.Outcomes) != len(seq.Outcomes) {
+		t.Fatalf("outcome count %d vs %d", len(par.Outcomes), len(seq.Outcomes))
+	}
+	for i := range seq.Outcomes {
+		s, p := seq.Outcomes[i], par.Outcomes[i]
+		if s.Point.Key() != p.Point.Key() || s.Pruned != p.Pruned || s.AllMet != p.AllMet {
+			t.Fatalf("outcome %d diverged: %s/%v/%v vs %s/%v/%v", i,
+				s.Point.Key(), s.Pruned, s.AllMet, p.Point.Key(), p.Pruned, p.AllMet)
+		}
+		if !s.Pruned {
+			if s.Result.Metrics["availability"] != p.Result.Metrics["availability"] {
+				t.Fatalf("outcome %d availability diverged", i)
+			}
+		}
+	}
+}

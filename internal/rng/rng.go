@@ -12,7 +12,10 @@
 // used.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic pseudo-random source. It is not safe for
 // concurrent use; derive one Source per goroutine with Derive.
@@ -84,28 +87,16 @@ func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
-	// Lemire's nearly-divisionless bounded generation.
+	// Lemire's nearly-divisionless bounded generation. bits.Mul64 is a
+	// compiler intrinsic (single MULX/UMULH on amd64/arm64).
 	bound := uint64(n)
 	for {
 		v := r.Uint64()
-		hi, lo := mul64(v, bound)
+		hi, lo := bits.Mul64(v, bound)
 		if lo >= bound || lo >= (-bound)%bound {
 			return int(hi)
 		}
 	}
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bHi
-	u := aHi * bLo
-	lo = a * b
-	carry := ((aLo*bLo)>>32 + t&mask + u&mask) >> 32
-	hi = aHi*bHi + t>>32 + u>>32 + carry
-	return hi, lo
 }
 
 // Int63 returns a non-negative 63-bit integer.
@@ -135,23 +126,57 @@ func (r *Source) Sample(n, k int) []int {
 	if k < 0 || k > n {
 		panic("rng: Sample with k out of range")
 	}
-	// Partial Fisher–Yates over a sparse map: O(k) time and space even
-	// for large n, which matters when sampling replica targets from big
-	// clusters.
-	swapped := make(map[int]int, k)
 	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		j := i + r.Intn(n-i)
-		vi, ok := swapped[i]
-		if !ok {
-			vi = i
+	switch {
+	case k == 0:
+	case 8*k <= n && k <= 64:
+		// Rejection sampling with a linear dedup scan: the
+		// replica-placement common case (a handful of targets from a big
+		// cluster). Collision probability is <= 1/8 per draw and the scan
+		// stays within a cache line or two, so this beats both the map and
+		// a dense shuffle.
+		for i := 0; i < k; {
+			v := r.Intn(n)
+			dup := false
+			for _, prev := range out[:i] {
+				if prev == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out[i] = v
+				i++
+			}
 		}
-		vj, ok := swapped[j]
-		if !ok {
-			vj = j
+	case n <= 1024:
+		// Dense partial Fisher–Yates over a small scratch slice.
+		scratch := make([]int, n)
+		for i := range scratch {
+			scratch[i] = i
 		}
-		out[i] = vj
-		swapped[j] = vi
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+			out[i] = scratch[i]
+		}
+	default:
+		// Partial Fisher–Yates over a sparse map: O(k) time and space even
+		// for large n with large k.
+		swapped := make(map[int]int, k)
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			vi, ok := swapped[i]
+			if !ok {
+				vi = i
+			}
+			vj, ok := swapped[j]
+			if !ok {
+				vj = j
+			}
+			out[i] = vj
+			swapped[j] = vi
+		}
 	}
 	return out
 }

@@ -1,17 +1,30 @@
 // Package sim is the discrete-event simulation engine at the heart of the
 // wind tunnel (§2.3 of the paper). It provides a virtual clock, an event
-// calendar (binary heap keyed by time with FIFO tie-breaking), cancellable
-// events, named deterministic random streams, an early-abort mechanism
-// (§4.2: "abort a simulation run before it completes, if it is clear ...
-// that the design constraint will not be met"), and event tracing.
+// calendar (arena-backed 4-ary heap keyed by time with FIFO tie-breaking),
+// cancellable events, named deterministic random streams, an early-abort
+// mechanism (§4.2: "abort a simulation run before it completes, if it is
+// clear ... that the design constraint will not be met"), and event
+// tracing.
 //
 // Time is a float64 in model units; the packages above use hours for
 // failure processes and seconds for request-level processes — each
 // Scenario picks one unit and sticks to it.
+//
+// # Calendar internals
+//
+// The calendar is built for sweep throughput (§4.2 calls for the tunnel
+// itself to be fast): events live in a chunked arena and are recycled
+// through a free list, so steady-state Schedule+Step performs zero heap
+// allocations; the priority queue is an inlined 4-ary min-heap of small
+// value entries keyed by (time, seq) — no interface boxing, FIFO
+// tie-breaking preserved; Cancel is lazy (a tombstone skipped at pop)
+// instead of a structural heap removal. Because (time, seq) is a total
+// order, the execution order is exactly that of the previous binary-heap
+// implementation: engine refactors change how events are stored, never
+// which event fires next.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -21,16 +34,31 @@ import (
 // Time is a point in simulated time. The unit is chosen by the model.
 type Time = float64
 
+// Event slot lifecycle states.
+const (
+	evFree      uint8 = iota // on the free list, contents cleared
+	evPending                // scheduled, waiting in the heap
+	evTombstone              // cancelled, awaiting lazy removal at pop
+	evFiring                 // callback currently executing
+)
+
 // Event is a scheduled callback. It is returned by Schedule/At so callers
 // can Cancel it.
+//
+// Events are recycled: once an event has fired, its *Event may be reused
+// by a later Schedule. Holding a pointer past the event's firing and
+// cancelling it later is therefore invalid (it could cancel an unrelated
+// recycled event); cancel pending events, and drop references once an
+// event has fired. Cancelling a pending event any number of times, or
+// cancelling from within any callback (including the event's own), is
+// safe.
 type Event struct {
 	time    Time
 	seq     uint64
 	name    string
 	fn      func()
-	index   int // heap index; -1 when not queued
-	cancel  bool
 	created Time
+	state   uint8
 }
 
 // Time returns the scheduled firing time.
@@ -39,34 +67,28 @@ func (e *Event) Time() Time { return e.time }
 // Name returns the event's diagnostic label.
 func (e *Event) Name() string { return e.name }
 
-// eventHeap implements heap.Interface ordered by (time, seq).
-type eventHeap []*Event
+// Arena geometry: events are allocated in fixed chunks so slot addresses
+// stay stable while the arena grows (callers hold *Event across grows).
+const (
+	chunkBits = 8
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// heapEntry is one priority-queue element: the sort key plus the arena
+// index of its event. Entries are plain values — comparisons never touch
+// the arena.
+type heapEntry struct {
+	time Time
+	seq  uint64
+	idx  int32
+}
+
+func entryLess(a, b heapEntry) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Tracer receives every executed event when tracing is enabled.
@@ -77,12 +99,19 @@ type Tracer func(t Time, name string)
 // (§4.2's intra-run parallelism is planned via the interaction graph in
 // internal/core, which schedules independent runs concurrently).
 type Simulator struct {
-	now      Time
-	queue    eventHeap
+	now  Time
+	heap []heapEntry
+
+	arena     []*[chunkSize]Event
+	free      []int32
+	allocated int32
+	live      int // pending (non-tombstoned) events
+
 	seq      uint64
 	executed uint64
 	stopped  bool
 	root     *rng.Source
+	streams  map[string]*rng.Source
 	tracer   Tracer
 	// abortCheck, when set, is consulted every abortEvery events; a true
 	// return stops the run (early abort, §4.2).
@@ -102,16 +131,30 @@ func (s *Simulator) Now() Time { return s.now }
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
-// Pending returns the number of events still scheduled.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of events still scheduled (cancelled events
+// are excluded even while their tombstones await lazy removal).
+func (s *Simulator) Pending() int { return s.live }
 
 // Aborted reports whether the last run was stopped by the abort check.
 func (s *Simulator) Aborted() bool { return s.aborted }
 
 // Stream returns the deterministic random stream for name. Distinct names
 // give independent streams, and the mapping is stable across runs with the
-// same seed regardless of call order.
-func (s *Simulator) Stream(name string) *rng.Source { return s.root.Derive(name) }
+// same seed regardless of call order. Repeated calls with the same name
+// return the same Source, so draws advance instead of silently replaying:
+// a model can re-request its stream by name at every event without
+// resetting it.
+func (s *Simulator) Stream(name string) *rng.Source {
+	if src, ok := s.streams[name]; ok {
+		return src
+	}
+	if s.streams == nil {
+		s.streams = make(map[string]*rng.Source)
+	}
+	src := s.root.Derive(name)
+	s.streams[name] = src
+	return src
+}
 
 // SetTracer installs fn as the event tracer (nil disables tracing).
 func (s *Simulator) SetTracer(fn Tracer) { s.tracer = fn }
@@ -125,6 +168,97 @@ func (s *Simulator) SetAbortCheck(fn func() bool, every uint64) {
 	}
 	s.abortCheck = fn
 	s.abortEvery = every
+}
+
+// slot returns the arena slot for idx.
+func (s *Simulator) slot(idx int32) *Event {
+	return &s.arena[idx>>chunkBits][idx&chunkMask]
+}
+
+// alloc returns a fresh or recycled event slot.
+func (s *Simulator) alloc() (int32, *Event) {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx, s.slot(idx)
+	}
+	if int(s.allocated) == len(s.arena)*chunkSize {
+		s.arena = append(s.arena, new([chunkSize]Event))
+	}
+	idx := s.allocated
+	s.allocated++
+	return idx, s.slot(idx)
+}
+
+// freeSlot recycles a popped slot, dropping its references so the closure
+// and name become collectable immediately.
+func (s *Simulator) freeSlot(idx int32, e *Event) {
+	e.state = evFree
+	e.fn = nil
+	e.name = ""
+	s.free = append(s.free, idx)
+}
+
+// heapPush inserts entry, restoring the 4-ary heap order.
+func (s *Simulator) heapPush(entry heapEntry) {
+	h := append(s.heap, entry)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.heap = h
+}
+
+// heapPop removes and returns the minimum entry.
+func (s *Simulator) heapPop() heapEntry {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	s.heap = h
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !entryLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
+
+// pruneTop pops and recycles tombstoned entries until the heap is empty
+// or a live event is at the top (lazy cancellation).
+func (s *Simulator) pruneTop() {
+	for len(s.heap) > 0 {
+		idx := s.heap[0].idx
+		e := s.slot(idx)
+		if e.state != evTombstone {
+			return
+		}
+		s.heapPop()
+		s.freeSlot(idx, e)
+	}
 }
 
 // Schedule enqueues fn to run after delay (>= 0) and returns the event.
@@ -143,26 +277,33 @@ func (s *Simulator) At(t Time, name string, fn func()) *Event {
 	if fn == nil {
 		panic(fmt.Sprintf("sim: nil callback for event %q", name))
 	}
-	e := &Event{time: t, seq: s.seq, name: name, fn: fn, created: s.now}
+	idx, e := s.alloc()
+	e.time = t
+	e.seq = s.seq
+	e.name = name
+	e.fn = fn
+	e.created = s.now
+	e.state = evPending
+	s.heapPush(heapEntry{time: t, seq: s.seq, idx: idx})
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.live++
 	return e
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes a scheduled event. Cancelling an already-cancelled or
+// currently-firing event is a no-op. The removal is lazy: the slot is
+// tombstoned here and recycled when it reaches the top of the heap.
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.cancel {
+	if e == nil || e.state != evPending {
 		return
 	}
-	e.cancel = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
-	}
+	e.state = evTombstone
+	s.live--
 }
 
 // Reschedule cancels e and schedules a fresh event with the same name and
-// callback after delay, returning the new event.
+// callback after delay, returning the new event. e must be pending or
+// currently firing.
 func (s *Simulator) Reschedule(e *Event, delay Time) *Event {
 	s.Cancel(e)
 	return s.Schedule(delay, e.name, e.fn)
@@ -171,22 +312,30 @@ func (s *Simulator) Reschedule(e *Event, delay Time) *Event {
 // Step executes the next event. It returns false when the calendar is
 // empty or the simulator has been stopped.
 func (s *Simulator) Step() bool {
-	if s.stopped || len(s.queue) == 0 {
+	if s.stopped {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	if e.cancel {
-		return len(s.queue) > 0
+	s.pruneTop()
+	if len(s.heap) == 0 {
+		return false
 	}
+	entry := s.heapPop()
+	e := s.slot(entry.idx)
 	if e.time < s.now {
 		panic(fmt.Sprintf("sim: time went backwards: event %q at %v < now %v", e.name, e.time, s.now))
 	}
 	s.now = e.time
 	s.executed++
+	s.live--
+	e.state = evFiring
 	if s.tracer != nil {
 		s.tracer(s.now, e.name)
 	}
 	e.fn()
+	// Recycle only after the callback returns: the callback may observe
+	// (and no-op-Cancel) its own still-firing event, and new events it
+	// schedules must not be handed this slot while it runs.
+	s.freeSlot(entry.idx, e)
 	if s.abortCheck != nil && s.executed%s.abortEvery == 0 && s.abortCheck() {
 		s.aborted = true
 		s.stopped = true
@@ -206,7 +355,11 @@ func (s *Simulator) RunUntil(horizon Time) {
 	if horizon < s.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", horizon, s.now))
 	}
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
+	for !s.stopped {
+		s.pruneTop()
+		if len(s.heap) == 0 || s.heap[0].time > horizon {
+			break
+		}
 		if !s.Step() {
 			break
 		}
@@ -246,6 +399,9 @@ func (s *Simulator) Every(t0 Time, period Time, name string, fn func(Time)) (sto
 	schedule(t0)
 	return func() {
 		stopped = true
+		// Clear the handle so a second stop() is a no-op even after the
+		// cancelled slot has been recycled by a later Schedule.
 		s.Cancel(current)
+		current = nil
 	}
 }

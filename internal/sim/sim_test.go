@@ -238,6 +238,21 @@ func TestEvery(t *testing.T) {
 	}
 }
 
+func TestEveryDoubleStop(t *testing.T) {
+	// A second stop() must stay a no-op even after the cancelled slot has
+	// been recycled into an unrelated pending event.
+	s := New(1)
+	stop := s.Every(1, 1, "tick", func(Time) {})
+	stop()
+	ran := false
+	s.Schedule(2, "bystander", func() { ran = true }) // likely recycles the slot
+	stop()
+	s.Run()
+	if !ran {
+		t.Fatal("double stop() cancelled an unrelated recycled event")
+	}
+}
+
 func TestTracer(t *testing.T) {
 	s := New(1)
 	var names []string
@@ -268,6 +283,81 @@ func TestHeapPropertyRandomOrder(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestScheduleStepZeroAlloc(t *testing.T) {
+	// Steady-state Schedule+Step must not allocate: events are recycled
+	// through the arena free list and the heap reuses its capacity. This
+	// is the allocation-regression guard for the §4.2 speed work — if a
+	// future change boxes events again, this fails.
+	s := New(1)
+	var tick func()
+	tick = func() { s.Schedule(1, "tick", tick) }
+	s.Schedule(0, "tick", tick)
+	for i := 0; i < 4096; i++ { // warm the arena, free list and heap
+		if !s.Step() {
+			t.Fatal("calendar drained during warmup")
+		}
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if !s.Step() {
+			t.Fatal("calendar drained")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.1f allocs/event, want 0", allocs)
+	}
+}
+
+func TestCancelHeavySteadyStateZeroAlloc(t *testing.T) {
+	// Cancel+Reschedule churn must also stay allocation-free once the
+	// arena has grown: tombstones are recycled when their heap slot pops,
+	// not leaked. The victim is always rescheduled while still pending
+	// (its old tombstone drains just before each tick fires).
+	s := New(1)
+	var tick func()
+	tick = func() { s.Schedule(1, "tick", tick) }
+	s.Schedule(0, "tick", tick)
+	victim := s.Schedule(1.5, "victim", func() {})
+	cycle := func() {
+		victim = s.Reschedule(victim, 1.5)
+		if !s.Step() {
+			t.Fatal("calendar drained")
+		}
+	}
+	for i := 0; i < 1024; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(5000, cycle)
+	if allocs != 0 {
+		t.Fatalf("steady-state Reschedule+Step allocates %.1f allocs/event, want 0", allocs)
+	}
+}
+
+func TestStreamMemoized(t *testing.T) {
+	// Two Stream("x") calls must return the *same* source: draws advance
+	// across call sites instead of silently replaying identical values
+	// (the duplicate-stream hazard: a model that re-requests its stream
+	// per event would otherwise see the same "random" draw forever).
+	s := New(3)
+	a := s.Stream("x")
+	b := s.Stream("x")
+	if a != b {
+		t.Fatal("Stream(\"x\") returned two distinct sources")
+	}
+	v1 := s.Stream("x").Uint64()
+	v2 := s.Stream("x").Uint64()
+	if v1 == v2 {
+		t.Fatalf("repeated Stream draws replayed the same value %d", v1)
+	}
+	// Shared state: draws interleaved through either handle follow one
+	// sequence.
+	ref := New(3).Stream("x")
+	ref.Uint64()
+	ref.Uint64()
+	if got, want := a.Uint64(), ref.Uint64(); got != want {
+		t.Fatalf("stream state not shared: got %d, want %d", got, want)
 	}
 }
 

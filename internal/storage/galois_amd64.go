@@ -1,0 +1,30 @@
+//go:build amd64
+
+package storage
+
+// The AVX2 kernels in galois_amd64.s multiply a shard by a constant 32
+// bytes per step via nibble-table shuffles. They are gated on runtime
+// CPUID detection; every call site falls back to the portable
+// word-at-a-time table kernels in gf256.go for tails and non-AVX2 hosts.
+
+//go:noescape
+func galMulSetAVX2(tbl *byte, dst *byte, src *byte, n uint64)
+
+//go:noescape
+func galMulXorAVX2(tbl *byte, dst *byte, src *byte, n uint64)
+
+func cpuHasAVX2() bool
+
+var hasGaloisSIMD = cpuHasAVX2()
+
+// galMulSIMD computes dst[:32n] = c·src[:32n] (xor=false) or
+// dst[:32n] ^= c·src[:32n] (xor=true) using the AVX2 kernel. Callers
+// guarantee n > 0 and both slices cover 32n bytes.
+func galMulSIMD(dst, src []byte, c byte, n int, xor bool) {
+	tbl := &gfNibbleTable[c][0]
+	if xor {
+		galMulXorAVX2(tbl, &dst[0], &src[0], uint64(n))
+	} else {
+		galMulSetAVX2(tbl, &dst[0], &src[0], uint64(n))
+	}
+}

@@ -1,0 +1,102 @@
+// AVX2 GF(2^8) constant-multiply kernels (the PSHUFB nibble-table
+// technique): each byte b is split into nibbles and c·b is looked up as
+// lowTbl[b&0x0f] ^ highTbl[b>>4], 32 bytes per VPSHUFB pair. tbl points
+// at the 32-byte low||high nibble table for the coefficient; n is the
+// number of 32-byte blocks.
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func galMulSetAVX2(tbl *byte, dst *byte, src *byte, n uint64)
+TEXT ·galMulSetAVX2(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y0    // low-nibble products in both lanes
+	VBROADCASTI128 16(AX), Y1  // high-nibble products in both lanes
+	MOVQ $15, AX
+	MOVQ AX, X5
+	VPBROADCASTB X5, Y2        // 0x0f byte mask
+
+setloop:
+	TESTQ CX, CX
+	JZ    setdone
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3         // low nibbles
+	VPAND   Y2, Y4, Y4         // high nibbles
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JMP     setloop
+
+setdone:
+	VZEROUPPER
+	RET
+
+// func galMulXorAVX2(tbl *byte, dst *byte, src *byte, n uint64)
+TEXT ·galMulXorAVX2(SB), NOSPLIT, $0-32
+	MOVQ tbl+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	MOVQ $15, AX
+	MOVQ AX, X5
+	VPBROADCASTB X5, Y2
+
+xorloop:
+	TESTQ CX, CX
+	JZ    xordone
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VPXOR   (DI), Y3, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JMP     xorloop
+
+xordone:
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	// OSXSAVE (ECX bit 27) and AVX (ECX bit 28) from leaf 1.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<27), AX
+	JZ   noavx2
+	// OS must have enabled XMM+YMM state: XCR0 & 6 == 6.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx2
+	// AVX2: leaf 7 subleaf 0, EBX bit 5.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   noavx2
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx2:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package storage
+
+// Non-amd64 hosts always use the portable word-at-a-time table kernels.
+
+const hasGaloisSIMD = false
+
+func galMulSIMD(dst, src []byte, c byte, n int, xor bool) {
+	panic("storage: galMulSIMD called without SIMD support")
+}

@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// mulAddRef is the obvious per-byte reference the optimized kernels must
+// match bit-for-bit.
+func mulAddRef(dst, src []byte, c byte) {
+	for i := range src {
+		dst[i] ^= gfMul(c, src[i])
+	}
+}
+
+// TestGaloisKernelsAgree drives mulAdd/mulSet — including the SIMD blocks
+// and scalar tails — across awkward lengths and every coefficient class.
+func TestGaloisKernelsAgree(t *testing.T) {
+	r := rng.New(99)
+	lengths := []int{0, 1, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1024, 1027, 4096 + 5}
+	coefs := []byte{0, 1, 2, 3, 0x1d, 0x80, 0xff, 0x53}
+	for _, n := range lengths {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		for i := range src {
+			src[i] = byte(r.Intn(256))
+			base[i] = byte(r.Intn(256))
+		}
+		for _, c := range coefs {
+			want := append([]byte(nil), base...)
+			mulAddRef(want, src, c)
+			got := append([]byte(nil), base...)
+			mulAdd(got, src, c)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("mulAdd(c=%#x, len=%d) mismatch at byte %d: %#x != %#x",
+						c, n, i, got[i], want[i])
+				}
+			}
+
+			wantSet := make([]byte, n)
+			for i := range src {
+				wantSet[i] = gfMul(c, src[i])
+			}
+			gotSet := append([]byte(nil), base...) // dirty destination
+			mulSet(gotSet, src, c)
+			for i := range wantSet {
+				if gotSet[i] != wantSet[i] {
+					t.Fatalf("mulSet(c=%#x, len=%d) mismatch at byte %d: %#x != %#x",
+						c, n, i, gotSet[i], wantSet[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeIntoZeroAlloc is the allocation-regression guard for the RS
+// substrate: encoding into a reusable parity buffer must not allocate.
+func TestEncodeIntoZeroAlloc(t *testing.T) {
+	code, err := NewRSCode(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, 8<<10)
+		for j := range data[i] {
+			data[i][j] = byte(r.Intn(256))
+		}
+	}
+	parity := make([][]byte, 4)
+	for i := range parity {
+		parity[i] = make([]byte, 8<<10)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := code.EncodeInto(data, parity); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto allocates %.1f allocs/call with a reusable parity buffer, want 0", allocs)
+	}
+}
+
+// TestEncodeIntoMatchesEncode checks the zero-alloc path against Encode.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	r := rng.New(5)
+	code, err := NewRSCode(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shardLen = 1027 // force SIMD blocks plus a scalar tail
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, shardLen)
+		for j := range data[i] {
+			data[i][j] = byte(r.Intn(256))
+		}
+	}
+	shards, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity := make([][]byte, 4)
+	for i := range parity {
+		parity[i] = make([]byte, shardLen)
+		parity[i][0] = 0xaa // must be overwritten, not accumulated into
+	}
+	if err := code.EncodeInto(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		for i := 0; i < shardLen; i++ {
+			if parity[p][i] != shards[10+p][i] {
+				t.Fatalf("EncodeInto parity %d differs from Encode at byte %d", p, i)
+			}
+		}
+	}
+
+	// Argument validation.
+	if err := code.EncodeInto(data[:9], parity); err == nil {
+		t.Error("EncodeInto accepted wrong data shard count")
+	}
+	if err := code.EncodeInto(data, parity[:3]); err == nil {
+		t.Error("EncodeInto accepted wrong parity count")
+	}
+	short := [][]byte{parity[0], parity[1], parity[2], parity[3][:5]}
+	if err := code.EncodeInto(data, short); err == nil {
+		t.Error("EncodeInto accepted short parity buffer")
+	}
+}

@@ -7,15 +7,30 @@
 // judged available under a majority-quorum protocol.
 package storage
 
+import "encoding/binary"
+
 // GF(2^8) arithmetic with the 0x11d primitive polynomial (the one used by
 // storage Reed–Solomon implementations). Log/antilog tables are built at
-// package init; all operations are table lookups.
+// package init; all operations are table lookups. A full 256×256 product
+// table is also built so the encode/reconstruct inner loops can multiply
+// with a single unconditional lookup per byte: gfMulTable[c] is the
+// 256-entry product table of the constant c, and bulk kernels walk it
+// word-at-a-time (see mulAddTable).
 
 const gfPoly = 0x11d
 
 var (
 	gfExp [512]byte // doubled to avoid mod-255 in Mul
 	gfLog [256]byte
+
+	// gfMulTable[a][b] = a·b over GF(2^8). 64 KiB, shared by every code
+	// instance; row pointers are cached on each RSCode's matrices.
+	gfMulTable [256][256]byte
+
+	// gfNibbleTable[c] is c's 32-byte SIMD shuffle table: products of the
+	// 16 low-nibble values followed by products of the 16 high-nibble
+	// values (see galois_amd64.s).
+	gfNibbleTable [256][32]byte
 )
 
 func init() {
@@ -31,7 +46,22 @@ func init() {
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	for a := 1; a < 256; a++ {
+		la := int(gfLog[a])
+		for b := 1; b < 256; b++ {
+			gfMulTable[a][b] = gfExp[la+int(gfLog[b])]
+		}
+	}
+	for c := 0; c < 256; c++ {
+		for i := 0; i < 16; i++ {
+			gfNibbleTable[c][i] = gfMulTable[c][i]
+			gfNibbleTable[c][16+i] = gfMulTable[c][i<<4]
+		}
+	}
 }
+
+// mulTableOf returns c's 256-entry product table.
+func mulTableOf(c byte) *[256]byte { return &gfMulTable[c] }
 
 // gfMul multiplies two field elements.
 func gfMul(a, b byte) byte {
@@ -73,6 +103,101 @@ func gfPow(a byte, n int) byte {
 		l += 255
 	}
 	return gfExp[l]
+}
+
+// tableWord multiplies the eight bytes of x through t with
+// register-resident lookups (t holds the products of one coefficient).
+func tableWord(t *[256]byte, x uint64) uint64 {
+	return uint64(t[byte(x)]) |
+		uint64(t[byte(x>>8)])<<8 |
+		uint64(t[byte(x>>16)])<<16 |
+		uint64(t[byte(x>>24)])<<24 |
+		uint64(t[byte(x>>32)])<<32 |
+		uint64(t[byte(x>>40)])<<40 |
+		uint64(t[byte(x>>48)])<<48 |
+		uint64(t[byte(x>>56)])<<56
+}
+
+// mulAddTable accumulates dst ^= c·src where t is c's product table
+// (t == mulTableOf(c)). Two words per iteration keep two independent
+// lookup chains in flight; there are no per-byte bounds checks.
+func mulAddTable(dst, src []byte, t *[256]byte) {
+	for len(src) >= 16 && len(dst) >= 16 {
+		x := binary.LittleEndian.Uint64(src)
+		y := binary.LittleEndian.Uint64(src[8:16])
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^tableWord(t, x))
+		binary.LittleEndian.PutUint64(dst[8:16], binary.LittleEndian.Uint64(dst[8:16])^tableWord(t, y))
+		src, dst = src[16:], dst[16:]
+	}
+	for i := 0; i < len(src); i++ {
+		dst[i] ^= t[src[i]]
+	}
+}
+
+// mulSetTable writes dst = c·src (no accumulate, so callers skip a
+// zero-fill pass for the first source of a parity row).
+func mulSetTable(dst, src []byte, t *[256]byte) {
+	for len(src) >= 16 && len(dst) >= 16 {
+		x := binary.LittleEndian.Uint64(src)
+		y := binary.LittleEndian.Uint64(src[8:16])
+		binary.LittleEndian.PutUint64(dst, tableWord(t, x))
+		binary.LittleEndian.PutUint64(dst[8:16], tableWord(t, y))
+		src, dst = src[16:], dst[16:]
+	}
+	for i := 0; i < len(src); i++ {
+		dst[i] = t[src[i]]
+	}
+}
+
+// xorAdd accumulates dst ^= src (the c == 1 fast path), uint64 at a time.
+func xorAdd(dst, src []byte) {
+	for len(src) >= 16 && len(dst) >= 16 {
+		x := binary.LittleEndian.Uint64(src) ^ binary.LittleEndian.Uint64(dst)
+		y := binary.LittleEndian.Uint64(src[8:16]) ^ binary.LittleEndian.Uint64(dst[8:16])
+		binary.LittleEndian.PutUint64(dst, x)
+		binary.LittleEndian.PutUint64(dst[8:16], y)
+		src, dst = src[16:], dst[16:]
+	}
+	for i := 0; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulAdd accumulates dst ^= c·src, dispatching to the fastest kernel:
+// SIMD shuffle blocks when available, then the portable word-at-a-time
+// table kernel for tails and non-SIMD hosts.
+func mulAdd(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+	case 1:
+		xorAdd(dst, src)
+	default:
+		if hasGaloisSIMD && len(src) >= 32 && len(dst) >= len(src) {
+			blocks := len(src) >> 5
+			galMulSIMD(dst, src, c, blocks, true)
+			dst, src = dst[blocks<<5:], src[blocks<<5:]
+		}
+		mulAddTable(dst, src, mulTableOf(c))
+	}
+}
+
+// mulSet writes dst = c·src with the same dispatch as mulAdd.
+func mulSet(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		if hasGaloisSIMD && len(src) >= 32 && len(dst) >= len(src) {
+			blocks := len(src) >> 5
+			galMulSIMD(dst, src, c, blocks, false)
+			dst, src = dst[blocks<<5:], src[blocks<<5:]
+		}
+		mulSetTable(dst, src, mulTableOf(c))
+	}
 }
 
 // matrix is a dense byte matrix over GF(256).

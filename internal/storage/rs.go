@@ -11,6 +11,13 @@ type RSCode struct {
 	K, M   int
 	enc    *matrix // (K+M) × K systematic encoding matrix
 	parity *matrix // M × K parity rows
+
+	// parityCoef flattens the parity rows (index p*K + k) so the encode
+	// loop walks one dense coefficient array; each coefficient's 256-entry
+	// product table and 32-byte SIMD shuffle table are built once at
+	// package init (gfMulTable / gfNibbleTable) and selected per
+	// coefficient, so Encode never touches log/antilog arithmetic.
+	parityCoef []byte
 }
 
 // NewRSCode builds an RS(k, m) code; k >= 1, m >= 0, k+m <= 256.
@@ -33,7 +40,14 @@ func NewRSCode(k, m int) (*RSCode, error) {
 		return nil, fmt.Errorf("storage: degenerate Vandermonde (k=%d, m=%d)", k, m)
 	}
 	enc := v.mul(topInv)
-	return &RSCode{K: k, M: m, enc: enc, parity: enc.subMatrix(k, k+m, 0, k)}, nil
+	c := &RSCode{K: k, M: m, enc: enc, parity: enc.subMatrix(k, k+m, 0, k)}
+	c.parityCoef = make([]byte, m*k)
+	for p := 0; p < m; p++ {
+		for col := 0; col < k; col++ {
+			c.parityCoef[p*k+col] = c.parity.at(p, col)
+		}
+	}
+	return c, nil
 }
 
 // Shards returns k+m.
@@ -49,28 +63,50 @@ func (c *RSCode) Encode(data [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("storage: Encode wants %d data shards, got %d", c.K, len(data))
 	}
 	shardLen := len(data[0])
-	for i, d := range data {
-		if len(d) != shardLen {
-			return nil, fmt.Errorf("storage: shard %d length %d != %d", i, len(d), shardLen)
-		}
+	parity := make([][]byte, c.M)
+	buf := make([]byte, c.M*shardLen)
+	for p := range parity {
+		parity[p] = buf[p*shardLen : (p+1)*shardLen]
+	}
+	if err := c.EncodeInto(data, parity); err != nil {
+		return nil, err
 	}
 	shards := make([][]byte, c.K+c.M)
 	copy(shards, data)
-	for p := 0; p < c.M; p++ {
-		out := make([]byte, shardLen)
-		for k := 0; k < c.K; k++ {
-			coef := c.parity.at(p, k)
-			if coef == 0 {
-				continue
-			}
-			src := data[k]
-			for i := range src {
-				out[i] ^= gfMul(coef, src[i])
-			}
-		}
-		shards[c.K+p] = out
-	}
+	copy(shards[c.K:], parity)
 	return shards, nil
+}
+
+// EncodeInto computes the m parity shards for k equal-length data shards
+// into the caller-provided parity buffers (len(parity) == M, each the
+// data shard length). It performs no allocations, so a steady-state
+// encoder can reuse one parity set across calls.
+func (c *RSCode) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.K {
+		return fmt.Errorf("storage: EncodeInto wants %d data shards, got %d", c.K, len(data))
+	}
+	if len(parity) != c.M {
+		return fmt.Errorf("storage: EncodeInto wants %d parity buffers, got %d", c.M, len(parity))
+	}
+	shardLen := len(data[0])
+	for i, d := range data {
+		if len(d) != shardLen {
+			return fmt.Errorf("storage: shard %d length %d != %d", i, len(d), shardLen)
+		}
+	}
+	for i, p := range parity {
+		if len(p) != shardLen {
+			return fmt.Errorf("storage: parity buffer %d length %d != %d", i, len(p), shardLen)
+		}
+	}
+	for p := 0; p < c.M; p++ {
+		out := parity[p]
+		mulSet(out, data[0], c.parityCoef[p*c.K])
+		for k := 1; k < c.K; k++ {
+			mulAdd(out, data[k], c.parityCoef[p*c.K+k])
+		}
+	}
+	return nil
 }
 
 // Reconstruct recovers the original K data shards from any K available
@@ -125,14 +161,7 @@ func (c *RSCode) Reconstruct(shards [][]byte) ([][]byte, error) {
 	for r := 0; r < c.K; r++ {
 		out := make([]byte, shardLen)
 		for col := 0; col < c.K; col++ {
-			coef := dec.at(r, col)
-			if coef == 0 {
-				continue
-			}
-			src := shards[availIdx[col]]
-			for i := range src {
-				out[i] ^= gfMul(coef, src[i])
-			}
+			mulAdd(out, shards[availIdx[col]], dec.at(r, col))
 		}
 		data[r] = out
 	}
