@@ -332,6 +332,127 @@ func BenchmarkValidation(b *testing.B) {
 	}
 }
 
+// vrScenario is the monotone-response workload (single-copy objects)
+// where antithetic pairing anti-correlates trials; see
+// internal/core/variance_test.go for the regime discussion.
+func vrScenario() Scenario {
+	sc := benchScenario()
+	sc.Scheme = storage.ReplicationScheme(1)
+	sc.Users = 100
+	return sc
+}
+
+// BenchmarkRunnerPlainCI measures trials-to-target for plain Monte
+// Carlo at TargetCI 4e-3 on the monotone workload (the E10 baseline).
+func BenchmarkRunnerPlainCI(b *testing.B) {
+	sc := vrScenario()
+	trials := 0.0
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		res, err := core.Runner{Trials: 1024, TargetCI: 4e-3}.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += float64(res.Trials)
+	}
+	b.ReportMetric(trials/float64(b.N), "trials/op")
+}
+
+// BenchmarkRunnerAntithetic measures the same target with §4.2
+// antithetic pairing: fewer raw trials for the same confidence (E10).
+func BenchmarkRunnerAntithetic(b *testing.B) {
+	sc := vrScenario()
+	trials := 0.0
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		res, err := core.Runner{Trials: 1024, TargetCI: 4e-3, Antithetic: true}.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += float64(res.Trials)
+	}
+	b.ReportMetric(trials/float64(b.N), "trials/op")
+}
+
+// vrSweep builds the E11 multi-fidelity acceptance sweep: replication
+// (3,5,7,9) x cluster size (5,10,20 nodes/rack), availability >= 0.9,
+// equal TargetCI everywhere. With screening, the three clearly
+// over-provisioned replication columns are decided analytically and
+// only the marginal replication-3 column pays for simulation.
+func vrSweep(b *testing.B, seed uint64, screened bool) *core.Exploration {
+	space, err := design.NewSpace(
+		design.Dimension{Name: "replicas", Values: []design.Value{3, 5, 7, 9}},
+		design.Dimension{Name: "nodes", Values: []design.Value{5, 10, 20}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := sla.NewAvailability(0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := &core.Explorer{
+		Space: space,
+		Build: func(p design.Point) (core.Scenario, []sla.SLA, error) {
+			sc := benchScenario()
+			sc.Seed = seed
+			sc.Users = 100
+			sc.Cluster.NodesPerRack = p.MustValue("nodes").(int)
+			sc.Scheme = storage.ReplicationScheme(p.MustValue("replicas").(int))
+			return sc, []sla.SLA{target}, nil
+		},
+		Runner: core.Runner{Trials: 16, TargetCI: 1e-3, CRN: true},
+	}
+	if screened {
+		ex.Screen = &core.ScreenRule{Margin: core.DefaultScreenMargin}
+	}
+	res, err := ex.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// sweepTrials sums the simulated trials across a sweep's outcomes.
+func sweepTrials(res *core.Exploration) float64 {
+	total := 0.0
+	for _, out := range res.Outcomes {
+		if out.Result != nil {
+			total += float64(out.Result.Trials)
+		}
+	}
+	return total
+}
+
+// BenchmarkSweepBaselineCI measures the E11 sweep with full simulation
+// at every design point (the PR 2 execution model).
+func BenchmarkSweepBaselineCI(b *testing.B) {
+	trials, events := 0.0, 0.0
+	for i := 0; i < b.N; i++ {
+		res := vrSweep(b, uint64(i+1), false)
+		trials += sweepTrials(res)
+		events += float64(res.Events)
+	}
+	b.ReportMetric(trials/float64(b.N), "trials/op")
+	b.ReportMetric(events/float64(b.N), "events/op")
+}
+
+// BenchmarkExplorerScreened measures the same sweep with the §2.2
+// analytic screening pass deciding clear-cut points without simulation.
+func BenchmarkExplorerScreened(b *testing.B) {
+	trials, events := 0.0, 0.0
+	for i := 0; i < b.N; i++ {
+		res := vrSweep(b, uint64(i+1), true)
+		if res.Screened == 0 {
+			b.Fatal("nothing screened")
+		}
+		trials += sweepTrials(res)
+		events += float64(res.Events)
+	}
+	b.ReportMetric(trials/float64(b.N), "trials/op")
+	b.ReportMetric(events/float64(b.N), "events/op")
+}
+
 // BenchmarkEngineEvents measures raw DES throughput (events/second).
 func BenchmarkEngineEvents(b *testing.B) {
 	s := sim.New(1)

@@ -28,6 +28,10 @@ type Result struct {
 	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp   *float64 `json:"allocs_per_op,omitempty"`
 	MBPerSec   *float64 `json:"mb_per_sec,omitempty"`
+	// Extra keeps custom b.ReportMetric units (e.g. "trials/op",
+	// "events/op") so domain-level speedups — not just wall-clock — are
+	// part of the tracked perf trajectory.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -113,6 +117,13 @@ func Parse(r io.Reader) (map[string]Result, error) {
 				res.AllocsOp = ptr(v)
 			case "MB/s":
 				res.MBPerSec = ptr(v)
+			default:
+				if strings.HasSuffix(fields[i+1], "/op") {
+					if res.Extra == nil {
+						res.Extra = make(map[string]float64)
+					}
+					res.Extra[fields[i+1]] = v
+				}
 			}
 		}
 		if !seen {

@@ -329,8 +329,20 @@ func (c *Cluster) StartFailures() {
 	for _, n := range c.nodes {
 		n := n
 		if c.cfg.NodeTTF != nil {
-			stream := c.sim.Stream(fmt.Sprintf("node-%d", n.ID))
-			c.scheduleNodeLifecycle(n, stream)
+			var ttfStream, repairStream *rng.Source
+			if c.sim.Keyed() {
+				// Keyed (CRN/antithetic) mode splits the lifecycle into a
+				// mirrored failure-time stream and a shared repair stream:
+				// an antithetic twin inverts when nodes fail but repairs
+				// take identical durations, the pairing that actually
+				// anti-correlates availability.
+				ttfStream = c.sim.MirroredStream(fmt.Sprintf("node-%d/ttf", n.ID))
+				repairStream = c.sim.Stream(fmt.Sprintf("node-%d/repair", n.ID))
+			} else {
+				s := c.sim.Stream(fmt.Sprintf("node-%d", n.ID))
+				ttfStream, repairStream = s, s
+			}
+			c.scheduleNodeLifecycle(n, ttfStream, repairStream)
 		}
 		if c.cfg.ComponentFailures {
 			for d, disk := range n.Disks {
@@ -373,15 +385,17 @@ func (c *Cluster) StartFailures() {
 	}
 }
 
-// scheduleNodeLifecycle drives the whole-node fail/repair cycle.
-func (c *Cluster) scheduleNodeLifecycle(n *Node, stream *rng.Source) {
-	ttf := c.cfg.NodeTTF.Sample(stream)
+// scheduleNodeLifecycle drives the whole-node fail/repair cycle. The
+// TTF and repair streams coincide in legacy mode and are split in keyed
+// mode (see StartFailures).
+func (c *Cluster) scheduleNodeLifecycle(n *Node, ttfStream, repairStream *rng.Source) {
+	ttf := c.cfg.NodeTTF.Sample(ttfStream)
 	c.sim.Schedule(ttf, fmt.Sprintf("node%d/fail", n.ID), func() {
 		c.FailNode(n.ID)
-		rep := c.cfg.NodeRepair.Sample(stream)
+		rep := c.cfg.NodeRepair.Sample(repairStream)
 		c.sim.Schedule(rep, fmt.Sprintf("node%d/repair", n.ID), func() {
 			c.RestoreNode(n.ID)
-			c.scheduleNodeLifecycle(n, stream)
+			c.scheduleNodeLifecycle(n, ttfStream, repairStream)
 		})
 	})
 }

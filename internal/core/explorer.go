@@ -14,9 +14,13 @@ import (
 // PointOutcome is the result of one design point in a sweep.
 type PointOutcome struct {
 	Point  design.Point
-	Result *RunResult // nil when pruned
+	Result *RunResult // nil when pruned; analytic estimates when screened
 	Pruned bool
-	AllMet bool
+	// Screened reports that the point was decided by the analytic
+	// screening pass (§2.2) without simulation; Decision says which way.
+	Screened bool
+	Decision ScreenDecision
+	AllMet   bool
 	// Objective is the optimization value (lower is better) when the
 	// explorer has an objective function.
 	Objective float64
@@ -27,6 +31,10 @@ type Exploration struct {
 	Outcomes []PointOutcome
 	Executed int
 	Pruned   int
+	// Screened counts points decided analytically without simulation.
+	// Every screened point still appears in Outcomes — nothing is
+	// silently skipped.
+	Screened int
 	Events   uint64
 }
 
@@ -72,6 +80,17 @@ type Explorer struct {
 	Runner Runner
 	// Prune enables §4.2 dominance pruning.
 	Prune bool
+	// Screen, when non-nil, enables the §2.2 analytic screening pass:
+	// each point is first evaluated with the closed-form birth–death
+	// model and skips simulation entirely when the analytic bound clears
+	// (or provably misses) every availability SLA by the rule's margin.
+	// Screening decisions are pure functions of the point, so sweeps stay
+	// bit-identical for any Workers count, and screened points are
+	// reported in Outcomes with Screened set. A screened-pass point's
+	// Result carries analytic estimates, and the Objective function (if
+	// any) is evaluated against it — objectives that need simulation-only
+	// metrics should not be combined with screening.
+	Screen *ScreenRule
 	// Workers bounds point-level parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Objective, when non-nil, scores passing points (lower = better).
@@ -212,6 +231,17 @@ func (e *Explorer) Run() (*Exploration, error) {
 				// disagrees: impossible, since dominance is monotone.
 				panic("core: speculative prune skipped a non-dominated point")
 			}
+			if r.out.Screened {
+				// Decided analytically: no events simulated, but the
+				// decision feeds dominance pruning like any other — a
+				// screened failure is a proven failure.
+				exp.Screened++
+				if pruner != nil && !r.out.AllMet {
+					pruner.recordFailure(r.out.Point)
+				}
+				exp.Outcomes = append(exp.Outcomes, r.out)
+				continue
+			}
 			exp.Executed++
 			exp.Events += r.out.Result.EventsTotal
 			if pruner != nil && !r.out.AllMet {
@@ -226,11 +256,48 @@ func (e *Explorer) Run() (*Exploration, error) {
 	return exp, nil
 }
 
-// runPoint builds and runs one scenario.
+// runPoint builds one scenario, screens it analytically when enabled,
+// and simulates it otherwise.
 func (e *Explorer) runPoint(p design.Point) (PointOutcome, error) {
 	sc, slas, err := e.Build(p)
 	if err != nil {
 		return PointOutcome{}, fmt.Errorf("core: building point %s: %w", p.Key(), err)
+	}
+	if e.Screen != nil {
+		bounds, ok, err := AnalyticScreen(sc)
+		if err != nil {
+			return PointOutcome{}, fmt.Errorf("core: screening point %s: %w", p.Key(), err)
+		}
+		if ok {
+			if dec := e.Screen.Decide(bounds, slas); dec != ScreenSimulate {
+				res := screenResult(sc, bounds)
+				res.AllMet = dec == ScreenPass
+				if res.AllMet {
+					// A pass is decided against the same availability
+					// metric the SLAs read, so the verdicts are coherent;
+					// a screened fail is decided by the lower bound and
+					// reports only the Decision. A check error is fatal
+					// here exactly as it is on the simulated path.
+					verdicts, _, err := sla.CheckAll(res, slas)
+					if err != nil {
+						return PointOutcome{}, fmt.Errorf("core: checking screened point %s: %w", p.Key(), err)
+					}
+					res.Verdicts = verdicts
+				}
+				out := PointOutcome{
+					Point: p, Result: res, Screened: true,
+					Decision: dec, AllMet: res.AllMet,
+				}
+				if e.Objective != nil && res.AllMet {
+					obj, err := e.Objective(p, res)
+					if err != nil {
+						return PointOutcome{}, fmt.Errorf("core: scoring screened point %s: %w", p.Key(), err)
+					}
+					out.Objective = obj
+				}
+				return out, nil
+			}
+		}
 	}
 	runner := e.Runner
 	runner.SLAs = slas

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/dist"
 	"repro/internal/hardware"
 	"repro/internal/repair"
 	"repro/internal/rng"
@@ -31,6 +32,25 @@ type AbortRule struct {
 // Runner executes replicated trials of a scenario on a persistent worker
 // pool. Trials stream back as they finish and are aggregated strictly in
 // trial-index order, so results are bit-identical regardless of Workers.
+//
+// Three §4.2 variance-reduction techniques are available, all opt-in and
+// all preserving Workers-independence:
+//
+//   - CRN keys every named random stream by (Scenario.Seed, trial,
+//     stream name) — a pure function of the triple, independent of the
+//     design point — so paired design points sharing a seed see
+//     identical failure draws and comparisons between them need far
+//     fewer trials.
+//   - Antithetic pairs trials (2k, 2k+1): the odd twin consumes the
+//     mirrored uniforms of the even twin's streams, and aggregation runs
+//     over pair means, shrinking confidence intervals without bias.
+//     Antithetic implies CRN keying.
+//   - FailureBias > 1 scales the whole-node TTF hazard by that factor
+//     (failure-biased importance sampling): rare failure windows become
+//     common, and every trial carries its likelihood-ratio weight into
+//     self-normalized weighted estimators, so high-availability
+//     scenarios resolve tiny unavailabilities in a fraction of the
+//     trials.
 type Runner struct {
 	// Trials is the maximum number of trials (>= 1).
 	Trials int
@@ -45,6 +65,24 @@ type Runner struct {
 	SLAs []sla.SLA
 	// Abort, when non-nil, enables per-trial early abort.
 	Abort *AbortRule
+	// CRN enables common-random-numbers stream keying.
+	CRN bool
+	// Antithetic enables antithetic trial pairing (implies CRN keying).
+	Antithetic bool
+	// FailureBias, when > 1, enables failure-biased importance sampling
+	// on the whole-node TTF process. 0 and 1 mean unbiased.
+	FailureBias float64
+}
+
+// varianceReduced reports whether any technique changes the aggregation
+// path (the plain path is kept byte-for-byte identical to the historical
+// one — see golden_test.go).
+func (r Runner) varianceReduced() bool {
+	return r.Antithetic || r.biasActive()
+}
+
+func (r Runner) biasActive() bool {
+	return r.FailureBias > 0 && r.FailureBias != 1
 }
 
 // trialOutcome carries one trial's raw measurements.
@@ -59,6 +97,7 @@ type trialOutcome struct {
 	nodeFailures   int64
 	events         uint64
 	repairMakespan float64
+	weight         float64 // importance weight (1 when unbiased)
 	aborted        bool
 	err            error
 }
@@ -69,6 +108,76 @@ type indexedOutcome struct {
 	out trialOutcome
 }
 
+// metric indices into the aggregation array.
+const (
+	mAvail = iota
+	mZeroCopy
+	mMeanUnavail
+	mLost
+	mRepairs
+	mRepBytes
+	mNodeFail
+	mMakespan
+	mCount
+)
+
+// values extracts the aggregated metrics in index order.
+func (o *trialOutcome) values(users int) [mCount]float64 {
+	return [mCount]float64{
+		mAvail:       o.availability,
+		mZeroCopy:    o.zeroCopy,
+		mMeanUnavail: o.meanUnavail,
+		mLost:        float64(o.lost) / float64(users),
+		mRepairs:     float64(o.repairs),
+		mRepBytes:    o.repairBytes,
+		mNodeFail:    float64(o.nodeFailures),
+		mMakespan:    o.repairMakespan,
+	}
+}
+
+// aggregator accumulates per-metric estimates. The plain path uses the
+// historical Welford accumulators; the variance-reduced path feeds
+// pair-mean and/or likelihood-weighted observations into weighted
+// estimators.
+type aggregator struct {
+	weighted bool
+	plain    [mCount]stats.Welford
+	w        [mCount]stats.WeightedWelford
+}
+
+func (a *aggregator) add(vals [mCount]float64, wt float64) {
+	if a.weighted {
+		for i := range vals {
+			a.w[i].Add(vals[i], wt)
+		}
+		return
+	}
+	for i := range vals {
+		a.plain[i].Add(vals[i])
+	}
+}
+
+func (a *aggregator) mean(i int) float64 {
+	if a.weighted {
+		return a.w[i].Mean()
+	}
+	return a.plain[i].Mean()
+}
+
+func (a *aggregator) ci(i int, alpha float64) float64 {
+	if a.weighted {
+		return a.w[i].CI(alpha)
+	}
+	return a.plain[i].CI(alpha)
+}
+
+func (a *aggregator) n(i int) int64 {
+	if a.weighted {
+		return a.w[i].N()
+	}
+	return a.plain[i].N()
+}
+
 // Run executes the scenario.
 func (r Runner) Run(sc Scenario) (*RunResult, error) {
 	if err := sc.Validate(); err != nil {
@@ -76,6 +185,12 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 	}
 	if r.Trials < 1 {
 		return nil, fmt.Errorf("core: Runner.Trials must be >= 1, got %d", r.Trials)
+	}
+	if r.FailureBias < 0 {
+		return nil, fmt.Errorf("core: Runner.FailureBias must be >= 0, got %v", r.FailureBias)
+	}
+	if r.biasActive() && sc.Cluster.NodeTTF == nil {
+		return nil, fmt.Errorf("core: FailureBias needs a whole-node TTF distribution (Cluster.NodeTTF)")
 	}
 	workers := r.Workers
 	if workers <= 0 {
@@ -85,17 +200,11 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 		workers = r.Trials
 	}
 
+	agg := &aggregator{weighted: r.biasActive()}
 	var (
-		avail       stats.Welford
-		zeroCopy    stats.Welford
-		meanUnavail stats.Welford
-		lostW       stats.Welford
-		repairsW    stats.Welford
-		repBytesW   stats.Welford
-		nodeFailW   stats.Welford
-		makespanW   stats.Welford
 		events      uint64
 		aborted     int
+		rawTrials   int // trials folded into the aggregate
 		tenantAvail []float64
 	)
 
@@ -135,16 +244,64 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 
 	// Commit results strictly in trial-index order via a reorder buffer;
 	// the early-stop decision is therefore a pure function of the seed.
+	// With Antithetic, a committed even trial is held until its odd twin
+	// commits (adjacent in commit order) and the pair mean becomes one
+	// observation; an unpaired final trial is committed alone.
 	var (
 		reorder    = make(map[int]trialOutcome)
 		nextCommit = 0
 		stopped    = false
 		firstErr   error
+		pending    *trialOutcome // even twin awaiting its antithetic pair
 	)
 	halt := func() {
 		if !stopped {
 			stopped = true
 			close(stop)
+		}
+	}
+	commit := func(o trialOutcome) {
+		events += o.events
+		if tenantAvail == nil && len(o.tenantAvail) > 0 {
+			// One allocation for the whole pool: every trial of a scenario
+			// reports the same tenant count, so the first committed trial
+			// fixes the final capacity.
+			tenantAvail = make([]float64, 0, r.Trials*len(o.tenantAvail))
+		}
+		tenantAvail = append(tenantAvail, o.tenantAvail...)
+		if o.aborted {
+			aborted++
+		}
+		wt := max1(o.weight)
+		if r.Antithetic {
+			if pending == nil {
+				held := o
+				pending = &held
+				return
+			}
+			// Pair mean: weighted within the pair so the pair observation
+			// stays a self-normalized estimate of the same quantity.
+			p := pending
+			pending = nil
+			pw := max1(p.weight)
+			pv := p.values(sc.Users)
+			ov := o.values(sc.Users)
+			var vals [mCount]float64
+			for i := range vals {
+				vals[i] = (pw*pv[i] + wt*ov[i]) / (pw + wt)
+			}
+			agg.add(vals, (pw+wt)/2)
+			rawTrials += 2
+			return
+		}
+		agg.add(o.values(sc.Users), wt)
+		rawTrials++
+	}
+	flushPending := func() {
+		if pending != nil {
+			agg.add(pending.values(sc.Users), max1(pending.weight))
+			rawTrials++
+			pending = nil
 		}
 	}
 	for res := range results {
@@ -164,20 +321,11 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 				halt()
 				break
 			}
-			avail.Add(o.availability)
-			zeroCopy.Add(o.zeroCopy)
-			meanUnavail.Add(o.meanUnavail)
-			lostW.Add(float64(o.lost) / float64(sc.Users))
-			repairsW.Add(float64(o.repairs))
-			repBytesW.Add(o.repairBytes)
-			nodeFailW.Add(float64(o.nodeFailures))
-			makespanW.Add(o.repairMakespan)
-			events += o.events
-			tenantAvail = append(tenantAvail, o.tenantAvail...)
-			if o.aborted {
-				aborted++
+			commit(o)
+			if nextCommit == r.Trials {
+				flushPending()
 			}
-			if r.TargetCI > 0 && avail.N() >= 2 && avail.CI(0.05) < r.TargetCI {
+			if r.TargetCI > 0 && agg.n(mAvail) >= 2 && agg.ci(mAvail, 0.05) < r.TargetCI {
 				halt()
 			}
 		}
@@ -185,29 +333,40 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	flushPending()
 
+	// Metric keys are compile-time literals (interned by the compiler);
+	// sizing the maps exactly keeps RunResult assembly at two fixed
+	// allocations per run, which matters when the Explorer assembles one
+	// RunResult per design point across large sweeps.
+	metrics := make(map[string]float64, mCount+4)
+	metrics["availability"] = agg.mean(mAvail)
+	metrics["unavail_fraction"] = 1 - agg.mean(mAvail)
+	metrics["zero_copy_fraction"] = agg.mean(mZeroCopy)
+	metrics["mean_unavail_objects"] = agg.mean(mMeanUnavail)
+	metrics["loss_prob"] = agg.mean(mLost)
+	metrics["repairs"] = agg.mean(mRepairs)
+	metrics["repair_bytes_mb"] = agg.mean(mRepBytes)
+	metrics["node_failures"] = agg.mean(mNodeFail)
+	metrics["repair_makespan"] = agg.mean(mMakespan)
+	metrics["events"] = float64(events) / float64(rawTrials)
+	ci := make(map[string]float64, 2)
+	ci["availability"] = agg.ci(mAvail, 0.05)
+	ci["loss_prob"] = agg.ci(mLost, 0.05)
 	res := &RunResult{
-		Scenario: sc.Name,
-		Trials:   int(avail.N()),
-		Metrics: map[string]float64{
-			"availability":         avail.Mean(),
-			"unavail_fraction":     1 - avail.Mean(),
-			"zero_copy_fraction":   zeroCopy.Mean(),
-			"mean_unavail_objects": meanUnavail.Mean(),
-			"loss_prob":            lostW.Mean(),
-			"repairs":              repairsW.Mean(),
-			"repair_bytes_mb":      repBytesW.Mean(),
-			"node_failures":        nodeFailW.Mean(),
-			"repair_makespan":      makespanW.Mean(),
-			"events":               float64(events) / float64(avail.N()),
-		},
-		CI: map[string]float64{
-			"availability": avail.CI(0.05),
-			"loss_prob":    lostW.CI(0.05),
-		},
+		Scenario:           sc.Name,
+		Trials:             rawTrials,
+		Metrics:            metrics,
+		CI:                 ci,
 		EventsTotal:        events,
 		AbortedTrials:      aborted,
 		TenantAvailability: tenantAvail,
+	}
+	if r.biasActive() {
+		// Diagnostic for importance sampling: effective sample size and
+		// mean weight (should hover near 1 when the bias is well chosen).
+		res.Metrics["is_effective_trials"] = agg.w[mAvail].EffectiveN()
+		res.Metrics["is_weight_mean"] = agg.w[mAvail].SumWeights() / float64(agg.w[mAvail].N())
 	}
 	if len(r.SLAs) > 0 {
 		verdicts, all, err := sla.CheckAll(res, r.SLAs)
@@ -222,9 +381,48 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 	return res, nil
 }
 
+func max1(w float64) float64 {
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
 // runTrial builds and runs one independent replication.
 func (r Runner) runTrial(sc Scenario, trial uint64) trialOutcome {
-	s := sim.New(sc.Seed*1_000_003 + trial)
+	crn := r.CRN || r.Antithetic
+	anti := r.Antithetic && trial&1 == 1
+	pairBase := trial
+	if r.Antithetic {
+		pairBase = trial &^ 1 // odd twins share the even twin's stream key
+	}
+	var s *sim.Simulator
+	var placeRng *rng.Source
+	if crn {
+		s = sim.NewKeyed(sc.Seed, pairBase, anti)
+		// Placement is shared (not mirrored) within an antithetic pair:
+		// the pair compares mirrored failure draws over one object layout.
+		placeRng = rng.Keyed(sc.Seed, pairBase, "placement")
+	} else {
+		s = sim.New(sc.Seed*1_000_003 + trial)
+		placeRng = rng.New(sc.Seed*7_919 + trial)
+	}
+
+	var biased *dist.HazardBiased
+	if r.biasActive() {
+		b, err := dist.NewHazardBiased(sc.Cluster.NodeTTF, r.FailureBias)
+		if err != nil {
+			return trialOutcome{err: err}
+		}
+		// Censoring-aware weighting: TTF draws beyond the remaining
+		// horizon contribute the bounded survival ratio, keeping weight
+		// variance under control at any bias.
+		b.Now = s.Now
+		b.Horizon = sc.HorizonHours
+		biased = b
+		sc.Cluster.NodeTTF = biased // sc is a per-trial copy
+	}
+
 	cl, err := cluster.Build(s, hardware.DefaultCatalog(), sc.Cluster)
 	if err != nil {
 		return trialOutcome{err: err}
@@ -238,7 +436,7 @@ func (r Runner) runTrial(sc Scenario, trial uint64) trialOutcome {
 	if err != nil {
 		return trialOutcome{err: err}
 	}
-	if err := st.AddObjects(sc.Users, sc.ObjectSizeMB, sc.Scheme, rng.New(sc.Seed*7_919+trial)); err != nil {
+	if err := st.AddObjects(sc.Users, sc.ObjectSizeMB, sc.Scheme, placeRng); err != nil {
 		return trialOutcome{err: err}
 	}
 	mgr, err := repair.NewManager(s, cl, st, sc.Repair)
@@ -274,7 +472,11 @@ func (r Runner) runTrial(sc Scenario, trial uint64) trialOutcome {
 		repairBytes:  mgr.BytesMovedMB(),
 		nodeFailures: cl.NodeFailures(),
 		events:       s.Executed(),
+		weight:       1,
 		aborted:      s.Aborted(),
+	}
+	if biased != nil {
+		out.weight = biased.Weight()
 	}
 	if mgr.RepairTimes().N() > 0 {
 		out.repairMakespan = mgr.RepairTimes().Max()

@@ -25,14 +25,43 @@ type Record struct {
 	AllMet   bool               `json:"all_met"`
 }
 
-// Store is an in-memory run archive with JSON persistence.
+// parsedKV is one pre-parsed config entry: the numeric form is decoded
+// once at Add/Load time so similarity search never re-runs ParseFloat,
+// and entries are kept sorted by key so two configs compare with a
+// linear merge instead of a per-comparison key-set map.
+type parsedKV struct {
+	key   string
+	str   string
+	num   float64
+	isNum bool
+}
+
+// parseConfig converts a config map into a sorted parsed slice.
+func parseConfig(config map[string]string) []parsedKV {
+	out := make([]parsedKV, 0, len(config))
+	for k, v := range config {
+		kv := parsedKV{key: k, str: v}
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			kv.num, kv.isNum = f, true
+		}
+		out = append(out, kv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// Store is an in-memory run archive with JSON persistence. Records are
+// indexed by id for O(1) lookup, and their configurations are pre-parsed
+// for fast similarity search at production record counts.
 type Store struct {
 	records []Record
+	parsed  [][]parsedKV // parallel to records
+	byID    map[int]int  // id -> records index
 	nextID  int
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{} }
+func NewStore() *Store { return &Store{byID: make(map[int]int)} }
 
 // Add records a run and returns its id.
 func (s *Store) Add(r Record) (int, error) {
@@ -41,19 +70,22 @@ func (s *Store) Add(r Record) (int, error) {
 	}
 	r.ID = s.nextID
 	s.nextID++
+	if s.byID == nil {
+		s.byID = make(map[int]int)
+	}
+	s.byID[r.ID] = len(s.records)
 	s.records = append(s.records, r)
+	s.parsed = append(s.parsed, parseConfig(r.Config))
 	return r.ID, nil
 }
 
 // Len returns the number of records.
 func (s *Store) Len() int { return len(s.records) }
 
-// Get returns record id.
+// Get returns record id in O(1) via the id index.
 func (s *Store) Get(id int) (Record, error) {
-	for _, r := range s.records {
-		if r.ID == id {
-			return r, nil
-		}
+	if i, ok := s.byID[id]; ok {
+		return s.records[i], nil
 	}
 	return Record{}, fmt.Errorf("results: no record %d", id)
 }
@@ -105,8 +137,14 @@ func Load(path string) (*Store, error) {
 	if err := json.Unmarshal(data, &records); err != nil {
 		return nil, fmt.Errorf("results: parse: %w", err)
 	}
-	st := &Store{records: records}
-	for _, r := range records {
+	st := &Store{
+		records: records,
+		parsed:  make([][]parsedKV, len(records)),
+		byID:    make(map[int]int, len(records)),
+	}
+	for i, r := range records {
+		st.parsed[i] = parseConfig(r.Config)
+		st.byID[r.ID] = i
 		if r.ID >= st.nextID {
 			st.nextID = r.ID + 1
 		}
@@ -121,65 +159,132 @@ type Neighbor struct {
 }
 
 // NearestK returns the k stored records most similar to config, ordered
-// by ascending distance. Distance per key: numeric values use relative
-// difference |a-b|/max(|a|,|b|); non-numeric use 0/1 mismatch; keys
-// missing from either side count 1. The sum is normalized by key count.
+// by ascending distance (ties broken by record order). Distance per key:
+// numeric values use relative difference |a-b|/max(|a|,|b|); non-numeric
+// use 0/1 mismatch; keys missing from either side count 1. The sum is
+// normalized by key count.
+//
+// Candidates are scanned against the pre-parsed config index with a
+// size-k result set and branch-and-bound early exit: a record's distance
+// accumulation stops as soon as it exceeds the current kth-best, so the
+// archive stays fast at production record counts.
 func (s *Store) NearestK(config map[string]string, k int) []Neighbor {
 	if k < 1 {
 		return nil
 	}
-	neighbors := make([]Neighbor, 0, len(s.records))
-	for _, r := range s.records {
-		neighbors = append(neighbors, Neighbor{Record: r, Distance: distance(config, r.Config)})
+	query := parseConfig(config)
+
+	type cand struct {
+		dist float64
+		idx  int
 	}
-	sort.SliceStable(neighbors, func(i, j int) bool {
-		return neighbors[i].Distance < neighbors[j].Distance
-	})
-	if len(neighbors) > k {
-		neighbors = neighbors[:k]
+	// best holds the current k nearest; worst tracks the entry to beat.
+	best := make([]cand, 0, k)
+	worst := 0
+	worse := func(a, b cand) bool { // a strictly worse than b
+		if a.dist != b.dist {
+			return a.dist > b.dist
+		}
+		return a.idx > b.idx
+	}
+	for i := range s.records {
+		var bound float64 = math.Inf(1)
+		if len(best) == k {
+			bound = best[worst].dist
+		}
+		d, ok := configDistance(query, s.parsed[i], bound)
+		if !ok {
+			continue // exceeded the kth-best part way: cannot enter the set
+		}
+		c := cand{dist: d, idx: i}
+		if len(best) < k {
+			best = append(best, c)
+			if worse(c, best[worst]) {
+				worst = len(best) - 1
+			}
+		} else if worse(best[worst], c) {
+			best[worst] = c
+			worst = 0
+			for j := 1; j < len(best); j++ {
+				if worse(best[j], best[worst]) {
+					worst = j
+				}
+			}
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return !worse(best[i], best[j]) })
+	neighbors := make([]Neighbor, len(best))
+	for i, c := range best {
+		neighbors[i] = Neighbor{Record: s.records[c.idx], Distance: c.dist}
 	}
 	return neighbors
 }
 
-// distance computes the normalized config distance.
+// distance computes the normalized config distance between two raw
+// config maps (parse-on-the-fly convenience; the store's hot path uses
+// pre-parsed configs through configDistance).
 func distance(a, b map[string]string) float64 {
-	keys := map[string]bool{}
-	for k := range a {
-		keys[k] = true
-	}
-	for k := range b {
-		keys[k] = true
-	}
-	if len(keys) == 0 {
-		return 0
-	}
+	d, _ := configDistance(parseConfig(a), parseConfig(b), math.Inf(1))
+	return d
+}
+
+// configDistance merges two sorted parsed configs, accumulating the
+// normalized distance. It bails out (ok=false) once the partial total
+// already guarantees a distance strictly above bound.
+func configDistance(a, b []parsedKV, bound float64) (float64, bool) {
+	keys := 0
+	// The normalizing key count is the size of the key union, computed
+	// in the same merge pass.
 	total := 0.0
-	for k := range keys {
-		av, aok := a[k]
-		bv, bok := b[k]
+	i, j := 0, 0
+	limit := math.Inf(1)
+	if !math.IsInf(bound, 1) {
+		// total/keysUnion > bound requires total > bound*union; union is
+		// unknown until the end, but it is at most len(a)+len(b), so use
+		// that as a conservative early-exit scale.
+		limit = bound * float64(len(a)+len(b))
+	}
+	for i < len(a) || j < len(b) {
 		switch {
-		case !aok || !bok:
-			total++
-		case av == bv:
-			// zero
+		case j >= len(b) || (i < len(a) && a[i].key < b[j].key):
+			total++ // key only in a
+			i++
+		case i >= len(a) || b[j].key < a[i].key:
+			total++ // key only in b
+			j++
 		default:
-			af, aerr := strconv.ParseFloat(av, 64)
-			bf, berr := strconv.ParseFloat(bv, 64)
-			if aerr == nil && berr == nil {
-				denom := math.Max(math.Abs(af), math.Abs(bf))
+			av, bv := a[i], b[j]
+			i++
+			j++
+			switch {
+			case av.str == bv.str:
+				// zero
+			case av.isNum && bv.isNum:
+				denom := math.Max(math.Abs(av.num), math.Abs(bv.num))
 				if denom == 0 {
 					total++
 				} else {
-					d := math.Abs(af-bf) / denom
+					d := math.Abs(av.num-bv.num) / denom
 					if d > 1 {
 						d = 1
 					}
 					total += d
 				}
-			} else {
+			default:
 				total++
 			}
 		}
+		keys++
+		if total > limit {
+			return 0, false
+		}
 	}
-	return total / float64(len(keys))
+	if keys == 0 {
+		return 0, true
+	}
+	d := total / float64(keys)
+	if d > bound {
+		return 0, false
+	}
+	return d, true
 }

@@ -2,6 +2,8 @@ package results
 
 import (
 	"path/filepath"
+	"sort"
+	"strconv"
 	"testing"
 )
 
@@ -138,5 +140,118 @@ func TestDistanceProperties(t *testing.T) {
 	}
 	if d := distance(nil, nil); d != 0 {
 		t.Errorf("empty distance = %v", d)
+	}
+}
+
+func TestGetUsesIDIndex(t *testing.T) {
+	s := NewStore()
+	ids := make([]int, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		id, err := s.Add(Record{Scenario: "s", Config: map[string]string{"i": strconv.Itoa(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range []int{0, 500, 999} {
+		r, err := s.Get(ids[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Config["i"] != strconv.Itoa(id) {
+			t.Fatalf("Get(%d) returned record %v", id, r.Config)
+		}
+	}
+	if _, err := s.Get(12345); err == nil {
+		t.Error("missing id did not error")
+	}
+}
+
+// TestNearestKMatchesBruteForce cross-checks the indexed branch-and-bound
+// search against a naive full scan.
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	s := NewStore()
+	n := 500
+	for i := 0; i < n; i++ {
+		cfg := map[string]string{
+			"replicas": strconv.Itoa(1 + i%7),
+			"nodes":    strconv.Itoa(10 * (1 + i%13)),
+			"policy":   []string{"random", "roundrobin", "spread"}[i%3],
+		}
+		if i%5 == 0 {
+			cfg["extra"] = strconv.Itoa(i)
+		}
+		if _, err := s.Add(Record{Scenario: "s", Config: cfg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := map[string]string{"replicas": "3", "nodes": "40", "policy": "random"}
+	for _, k := range []int{1, 5, 25} {
+		got := s.NearestK(query, k)
+		// Brute force: distance to every record, stable sort, take k.
+		type pair struct {
+			d float64
+			i int
+		}
+		var all []pair
+		for i, r := range s.All() {
+			all = append(all, pair{distance(query, r.Config), i})
+		}
+		sort.SliceStable(all, func(a, b int) bool { return all[a].d < all[b].d })
+		if len(got) != k {
+			t.Fatalf("k=%d returned %d neighbors", k, len(got))
+		}
+		for i := range got {
+			if got[i].Distance != all[i].d || got[i].Record.ID != all[i].i {
+				t.Fatalf("k=%d neighbor %d: got (d=%v id=%d), want (d=%v id=%d)",
+					k, i, got[i].Distance, got[i].Record.ID, all[i].d, all[i].i)
+			}
+		}
+	}
+}
+
+func TestLoadRebuildsIndexes(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Add(Record{Scenario: "s", Config: map[string]string{"i": strconv.Itoa(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := t.TempDir() + "/store.json"
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := loaded.Get(13)
+	if err != nil || r.Config["i"] != "13" {
+		t.Fatalf("Get after Load: %v %v", r, err)
+	}
+	nb := loaded.NearestK(map[string]string{"i": "13"}, 1)
+	if len(nb) != 1 || nb[0].Record.ID != 13 {
+		t.Fatalf("NearestK after Load: %v", nb)
+	}
+}
+
+func BenchmarkStoreNearestK(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 10000; i++ {
+		if _, err := s.Add(Record{Scenario: "s", Config: map[string]string{
+			"replicas": strconv.Itoa(1 + i%9),
+			"nodes":    strconv.Itoa(10 * (1 + i%31)),
+			"mttf":     strconv.Itoa(100 * (1 + i%17)),
+			"policy":   []string{"random", "roundrobin"}[i%2],
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := map[string]string{"replicas": "3", "nodes": "40", "mttf": "500", "policy": "random"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nb := s.NearestK(query, 5); len(nb) != 5 {
+			b.Fatal("bad result")
+		}
 	}
 }

@@ -22,6 +22,13 @@ import (
 type Source struct {
 	s [4]uint64
 
+	// flip is XORed into every raw xoshiro output: 0 for a plain stream,
+	// ^0 for an antithetic stream. Flipping all 64 bits maps the
+	// top-53-bit uniform u to its exact lattice complement
+	// (1 - 2^-53) - u, so an antithetic stream consumes the mirrored
+	// uniforms of its twin while both advance identical state.
+	flip uint64
+
 	// cached second normal variate from the polar method.
 	hasNorm bool
 	norm    float64
@@ -63,8 +70,26 @@ func (r *Source) Uint64() uint64 {
 	r.s[0] ^= r.s[3]
 	r.s[2] ^= t
 	r.s[3] = rotl(r.s[3], 45)
-	return result
+	return result ^ r.flip
 }
+
+// SetAntithetic switches the source between plain and antithetic output.
+// An antithetic source emits, for every draw, the bitwise complement of
+// what the plain stream would have produced, so Float64 returns the exact
+// lattice mirror 1 - 2^-53 - u of the plain uniform u. Pairing a plain
+// and an antithetic stream with identical state yields negatively
+// correlated trajectories for any monotone transform (§4.2's antithetic
+// variates). Derived and forked streams inherit the setting.
+func (r *Source) SetAntithetic(on bool) {
+	if on {
+		r.flip = ^uint64(0)
+	} else {
+		r.flip = 0
+	}
+}
+
+// Antithetic reports whether the source emits antithetic draws.
+func (r *Source) Antithetic() bool { return r.flip != 0 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (r *Source) Float64() float64 {
@@ -224,13 +249,38 @@ func fnv1a(s string) uint64 {
 // Derive returns a new Source whose state is a deterministic function of
 // the receiver's current state and name. Distinct names yield independent
 // streams; deriving does not advance the parent stream, so the set of
-// derived streams is stable under insertion of new names.
+// derived streams is stable under insertion of new names. The antithetic
+// setting is inherited, so a mirrored parent yields mirrored children
+// with state identical to the plain twin's children.
 func (r *Source) Derive(name string) *Source {
 	x := r.s[0] ^ rotl(r.s[2], 13) ^ fnv1a(name)
-	return New(x)
+	d := New(x)
+	d.flip = r.flip
+	return d
 }
 
-// Fork returns a new independent Source, advancing the receiver.
+// Fork returns a new independent Source, advancing the receiver. The
+// child inherits the antithetic setting but is seeded from the raw
+// (unflipped) draw, so plain/antithetic twins fork state-identical
+// children.
 func (r *Source) Fork() *Source {
-	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+	d := New(r.Uint64() ^ r.flip ^ 0xa0761d6478bd642f)
+	d.flip = r.flip
+	return d
+}
+
+// Keyed returns the deterministic Source for the (seed, trial, name)
+// triple: a pure function of its arguments, independent of any generator
+// state. This is the §4.2 common-random-numbers keying — two design
+// points that share an experiment seed and trial index see identical
+// draws for every stream name, so their availability estimates are
+// positively correlated and comparisons between them (dominance pruning,
+// Best() ranking) converge in far fewer trials than with independent
+// sampling.
+func Keyed(seed, trial uint64, name string) *Source {
+	x := seed
+	a := splitmix64(&x)
+	y := trial ^ 0x6a09e667f3bcc909 // sqrt(2) bits: decorrelate trial from seed
+	b := splitmix64(&y)
+	return New(a ^ rotl(b, 17) ^ fnv1a(name))
 }

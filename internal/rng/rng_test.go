@@ -240,3 +240,90 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+func TestAntitheticComplement(t *testing.T) {
+	plain := New(99)
+	anti := New(99)
+	anti.SetAntithetic(true)
+	if !anti.Antithetic() || plain.Antithetic() {
+		t.Fatal("antithetic flags wrong")
+	}
+	for i := 0; i < 1000; i++ {
+		u := plain.Float64()
+		v := anti.Float64()
+		// Exact lattice complement: u + v == 1 - 2^-53.
+		if u+v != 1-0x1p-53 {
+			t.Fatalf("draw %d: %v + %v != 1-2^-53", i, u, v)
+		}
+	}
+}
+
+func TestAntitheticDeriveInherits(t *testing.T) {
+	plain := New(7).Derive("x")
+	anti := New(7)
+	anti.SetAntithetic(true)
+	antiD := anti.Derive("x")
+	if !antiD.Antithetic() {
+		t.Fatal("derived stream lost the antithetic flag")
+	}
+	// Derived states are identical, so outputs are exact complements.
+	for i := 0; i < 100; i++ {
+		if plain.Uint64() != ^antiD.Uint64() {
+			t.Fatalf("derived antithetic stream is not the complement at draw %d", i)
+		}
+	}
+	// Forked children also mirror.
+	pf := New(7).Fork()
+	af := New(7)
+	af.SetAntithetic(true)
+	aff := af.Fork()
+	for i := 0; i < 100; i++ {
+		if pf.Uint64() != ^aff.Uint64() {
+			t.Fatalf("forked antithetic stream is not the complement at draw %d", i)
+		}
+	}
+}
+
+func TestAntitheticStillUniform(t *testing.T) {
+	r := New(3)
+	r.SetAntithetic(true)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("antithetic uniform mean = %v", mean)
+	}
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < n/10-1500 || c > n/10+1500 {
+			t.Fatalf("antithetic Intn digit %d count %d far from %d", d, c, n/10)
+		}
+	}
+}
+
+func TestKeyedPureFunction(t *testing.T) {
+	a := Keyed(1, 2, "node-0")
+	b := Keyed(1, 2, "node-0")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Keyed is not a pure function of its arguments")
+		}
+	}
+	// Distinct coordinates give distinct streams.
+	base := Keyed(1, 2, "node-0").Uint64()
+	if Keyed(1, 3, "node-0").Uint64() == base {
+		t.Error("trial does not decorrelate keyed streams")
+	}
+	if Keyed(2, 2, "node-0").Uint64() == base {
+		t.Error("seed does not decorrelate keyed streams")
+	}
+	if Keyed(1, 2, "node-1").Uint64() == base {
+		t.Error("name does not decorrelate keyed streams")
+	}
+}

@@ -112,7 +112,20 @@ type Simulator struct {
 	stopped  bool
 	root     *rng.Source
 	streams  map[string]*rng.Source
-	tracer   Tracer
+	// Keyed-stream mode (common random numbers, §4.2): when keyed is
+	// true, Stream(name) derives rng.Keyed(keySeed, keyTrial, name) — a
+	// pure function of the triple, so every simulator built with the same
+	// (seed, trial) sees identical draws per stream name regardless of
+	// which design point it simulates. antithetic mirrors the uniforms
+	// of MirroredStream sources only; streamMirror records which variant
+	// each cached name was created as, so a mixed request is caught
+	// instead of silently returning the wrong one.
+	keyed        bool
+	keySeed      uint64
+	keyTrial     uint64
+	antithetic   bool
+	streamMirror map[string]bool
+	tracer       Tracer
 	// abortCheck, when set, is consulted every abortEvery events; a true
 	// return stops the run (early abort, §4.2).
 	abortCheck func() bool
@@ -124,6 +137,31 @@ type Simulator struct {
 func New(seed uint64) *Simulator {
 	return &Simulator{root: rng.New(seed), abortEvery: 1024}
 }
+
+// NewKeyed returns a Simulator whose named streams are keyed by
+// (seed, trial, name) — the common-random-numbers mode: stream draws are
+// a pure function of the triple, independent of the design point being
+// simulated, so paired design points sharing (seed, trial) experience
+// identical failure draws. With antithetic set, MirroredStream sources
+// emit the complemented uniforms of the plain (seed, trial) twin while
+// Stream sources stay identical to it.
+func NewKeyed(seed, trial uint64, antithetic bool) *Simulator {
+	return &Simulator{
+		root:       rng.New(seed),
+		abortEvery: 1024,
+		keyed:      true,
+		keySeed:    seed,
+		keyTrial:   trial,
+		antithetic: antithetic,
+	}
+}
+
+// Antithetic reports whether this simulator is the mirrored member of
+// an antithetic pair.
+func (s *Simulator) Antithetic() bool { return s.antithetic }
+
+// Keyed reports whether streams are keyed by (seed, trial, name).
+func (s *Simulator) Keyed() bool { return s.keyed }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -144,14 +182,49 @@ func (s *Simulator) Aborted() bool { return s.aborted }
 // return the same Source, so draws advance instead of silently replaying:
 // a model can re-request its stream by name at every event without
 // resetting it.
+//
+// In an antithetic keyed simulator, Stream is NOT mirrored: both members
+// of a pair see identical draws, so everything except the explicitly
+// mirrored coordinates (see MirroredStream) is common random numbers
+// within the pair — the textbook antithetic construction.
 func (s *Simulator) Stream(name string) *rng.Source {
+	return s.stream(name, false)
+}
+
+// MirroredStream is Stream for the coordinates antithetic pairing
+// inverts: in the mirrored member of a pair the returned source emits
+// complemented uniforms, while the plain member (and any non-antithetic
+// simulator) sees the ordinary keyed stream. Models route their failure
+// time draws through MirroredStream so a pair explores "many failures"
+// and "few failures" trajectories with everything else held common.
+func (s *Simulator) MirroredStream(name string) *rng.Source {
+	return s.stream(name, true)
+}
+
+func (s *Simulator) stream(name string, mirror bool) *rng.Source {
 	if src, ok := s.streams[name]; ok {
+		if s.keyed && s.streamMirror[name] != mirror {
+			// A name must be consistently plain or mirrored: handing the
+			// cached other variant back would silently break the
+			// antithetic pairing contract on this coordinate.
+			panic(fmt.Sprintf("sim: stream %q requested both mirrored and non-mirrored", name))
+		}
 		return src
 	}
 	if s.streams == nil {
 		s.streams = make(map[string]*rng.Source)
 	}
-	src := s.root.Derive(name)
+	var src *rng.Source
+	if s.keyed {
+		src = rng.Keyed(s.keySeed, s.keyTrial, name)
+		src.SetAntithetic(mirror && s.antithetic)
+		if s.streamMirror == nil {
+			s.streamMirror = make(map[string]bool)
+		}
+		s.streamMirror[name] = mirror
+	} else {
+		src = s.root.Derive(name)
+	}
 	s.streams[name] = src
 	return src
 }

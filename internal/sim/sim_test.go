@@ -373,3 +373,38 @@ func TestStreamStability(t *testing.T) {
 		t.Fatal("stream depends on request order")
 	}
 }
+
+func TestKeyedStreamsPureAndMirrored(t *testing.T) {
+	a := NewKeyed(5, 7, false)
+	b := NewKeyed(5, 7, false)
+	if a.Stream("x").Uint64() != b.Stream("x").Uint64() {
+		t.Fatal("keyed streams are not a pure function of (seed, trial, name)")
+	}
+	if !a.Keyed() || a.Antithetic() {
+		t.Fatal("keyed flags wrong")
+	}
+	// The antithetic twin mirrors MirroredStream and shares Stream.
+	plain := NewKeyed(5, 7, false)
+	anti := NewKeyed(5, 7, true)
+	if plain.Stream("shared").Uint64() != anti.Stream("shared").Uint64() {
+		t.Error("plain Stream differs between antithetic twins")
+	}
+	if plain.MirroredStream("ttf").Uint64() != ^anti.MirroredStream("ttf").Uint64() {
+		t.Error("MirroredStream is not the bitwise complement in the antithetic twin")
+	}
+	// Different trials give different draws.
+	if NewKeyed(5, 7, false).Stream("x").Uint64() == NewKeyed(5, 9, false).Stream("x").Uint64() {
+		t.Error("trial does not decorrelate keyed simulator streams")
+	}
+}
+
+func TestMixedMirrorRequestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed mirrored/plain request for one name did not panic")
+		}
+	}()
+	s := NewKeyed(1, 1, true)
+	s.Stream("x")
+	s.MirroredStream("x")
+}

@@ -109,6 +109,101 @@ func (w *Welford) String() string {
 		w.n, w.Mean(), w.StdDev(), w.min, w.max)
 }
 
+// WeightedWelford accumulates a weighted mean and variance in one pass
+// (West's 1979 incremental algorithm). It backs the importance-sampled
+// estimators of §4.2's failure-biased trials: each simulation trial
+// contributes its metric with its likelihood-ratio weight, Mean returns
+// the self-normalized estimate Σwx/Σw, and CI accounts for weight
+// dispersion through the effective sample size (Σw)²/Σw². With all
+// weights 1 it reproduces Welford exactly. The zero value is ready to
+// use.
+type WeightedWelford struct {
+	n     int64
+	sumW  float64
+	sumW2 float64
+	mean  float64
+	m2    float64
+}
+
+// Add incorporates one observation with weight wt > 0 (zero-weight
+// observations are ignored; negative or non-finite weights panic — a
+// non-finite weight would silently turn every downstream mean into
+// NaN).
+func (w *WeightedWelford) Add(x, wt float64) {
+	if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 1) {
+		panic(fmt.Sprintf("stats: weighted observation with weight %v", wt))
+	}
+	if wt == 0 {
+		return
+	}
+	w.n++
+	w.sumW += wt
+	w.sumW2 += wt * wt
+	delta := x - w.mean
+	w.mean += delta * wt / w.sumW
+	w.m2 += wt * delta * (x - w.mean)
+}
+
+// N returns the number of (non-zero-weight) observations.
+func (w *WeightedWelford) N() int64 { return w.n }
+
+// SumWeights returns the accumulated weight mass.
+func (w *WeightedWelford) SumWeights() float64 { return w.sumW }
+
+// Mean returns the self-normalized weighted mean Σwx/Σw (0 if empty).
+func (w *WeightedWelford) Mean() float64 { return w.mean }
+
+// EffectiveN returns Kish's effective sample size (Σw)²/Σw²: the number
+// of equally-weighted observations carrying the same information. Equal
+// weights give EffectiveN == N.
+func (w *WeightedWelford) EffectiveN() float64 {
+	if w.sumW2 == 0 {
+		return 0
+	}
+	return w.sumW * w.sumW / w.sumW2
+}
+
+// Variance returns the unbiased (reliability-weights) sample variance.
+func (w *WeightedWelford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	denom := w.sumW - w.sumW2/w.sumW
+	if denom <= 0 {
+		return 0
+	}
+	return w.m2 / denom
+}
+
+// StdDev returns the weighted sample standard deviation.
+func (w *WeightedWelford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the weighted mean, using the
+// effective sample size.
+func (w *WeightedWelford) StdErr() float64 {
+	neff := w.EffectiveN()
+	if neff < 2 {
+		return math.Inf(1)
+	}
+	return w.StdDev() / math.Sqrt(neff)
+}
+
+// CI returns the half-width of the (1-alpha) two-sided confidence
+// interval for the weighted mean, with degrees of freedom taken from the
+// effective sample size.
+func (w *WeightedWelford) CI(alpha float64) float64 {
+	neff := w.EffectiveN()
+	if neff < 2 {
+		return math.Inf(1)
+	}
+	return tQuantile(1-alpha/2, int64(neff)-1) * w.StdErr()
+}
+
+func (w *WeightedWelford) String() string {
+	return fmt.Sprintf("n=%d neff=%.3g mean=%.6g sd=%.6g",
+		w.n, w.EffectiveN(), w.Mean(), w.StdDev())
+}
+
 // tQuantile approximates the Student-t quantile with df degrees of freedom
 // using the Cornish–Fisher expansion around the normal quantile; exact
 // enough for CI reporting (error < 1% for df >= 3).

@@ -239,3 +239,73 @@ func TestCounter(t *testing.T) {
 		t.Errorf("missing counter = %d, want 0", c.Get("missing"))
 	}
 }
+
+func TestWeightedWelfordUnitWeightsMatchWelford(t *testing.T) {
+	var w Welford
+	var ww WeightedWelford
+	xs := []float64{3.1, -2.2, 0.5, 9.9, 4.4, 4.4, -1.7}
+	for _, x := range xs {
+		w.Add(x)
+		ww.Add(x, 1)
+	}
+	if w.Mean() != ww.Mean() {
+		t.Errorf("means differ: %v vs %v", w.Mean(), ww.Mean())
+	}
+	if w.Variance() != ww.Variance() {
+		t.Errorf("variances differ: %v vs %v", w.Variance(), ww.Variance())
+	}
+	if w.CI(0.05) != ww.CI(0.05) {
+		t.Errorf("CIs differ: %v vs %v", w.CI(0.05), ww.CI(0.05))
+	}
+	if ww.EffectiveN() != float64(w.N()) {
+		t.Errorf("effective n = %v, want %d", ww.EffectiveN(), w.N())
+	}
+}
+
+func TestWeightedWelfordMean(t *testing.T) {
+	var ww WeightedWelford
+	ww.Add(1, 3)
+	ww.Add(5, 1)
+	want := (3.0*1 + 1.0*5) / 4.0
+	if math.Abs(ww.Mean()-want) > 1e-12 {
+		t.Errorf("weighted mean = %v, want %v", ww.Mean(), want)
+	}
+	if ww.N() != 2 {
+		t.Errorf("n = %d, want 2", ww.N())
+	}
+	// Kish effective sample size: (3+1)^2 / (9+1) = 1.6.
+	if math.Abs(ww.EffectiveN()-1.6) > 1e-12 {
+		t.Errorf("effective n = %v, want 1.6", ww.EffectiveN())
+	}
+}
+
+func TestWeightedWelfordZeroAndNegativeWeights(t *testing.T) {
+	var ww WeightedWelford
+	ww.Add(1, 1)
+	ww.Add(100, 0) // ignored
+	if ww.N() != 1 || ww.Mean() != 1 {
+		t.Errorf("zero-weight observation changed the accumulator: %v", ww)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative weight did not panic")
+		}
+	}()
+	ww.Add(1, -1)
+}
+
+func TestWeightedWelfordLargeWeightKeepsFiniteCI(t *testing.T) {
+	// exp(350) is the largest weight scale HazardBiased.Weight can emit;
+	// its square must stay finite so EffectiveN and CI stay meaningful.
+	var ww WeightedWelford
+	w := math.Exp(350)
+	ww.Add(0.9, w)
+	ww.Add(0.95, 1)
+	ww.Add(0.99, w)
+	if math.IsNaN(ww.EffectiveN()) || math.IsInf(ww.EffectiveN(), 0) {
+		t.Fatalf("effective n degenerated: %v", ww.EffectiveN())
+	}
+	if math.IsNaN(ww.CI(0.05)) {
+		t.Fatalf("CI degenerated: %v", ww.CI(0.05))
+	}
+}

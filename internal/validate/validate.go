@@ -237,6 +237,56 @@ func ExponentialAssumptionError(shape, serviceCV, lambda, mu float64, requests i
 	return sumWait / float64(count), q.Wq(), nil
 }
 
+// ScreeningBoundsValidation validates the §2.2 analytic screening pass
+// (core.AnalyticScreen) against full simulation. The Explorer decides a
+// design point without simulating only when the analytic bounds clear or
+// miss every availability SLA by a margin, so screening soundness
+// requires the simulated any-object unavailability to fall inside the
+// margin-widened bracket
+//
+//	[ObjUnavail/(1+margin), SysUnavail*(1+margin)].
+//
+// The bracket's upper end is the union bound over the pessimistic
+// (node-repair-time) chain and its lower end the optimistic
+// (detection-delay-only) chain — re-replication in the simulator lands
+// in between, and this check verifies that it does.
+func ScreeningBoundsValidation(trials int, seed uint64) (Report, error) {
+	sc := core.DefaultScenario()
+	sc.Cluster.Racks = 2
+	sc.Cluster.NodesPerRack = 5
+	sc.Cluster.NodeTTF = dist.Must(dist.ExpMean(500))
+	sc.Cluster.NodeRepair = dist.Must(dist.ExpMean(12))
+	sc.Repair.Detection = dist.Must(dist.NewDeterministic(6))
+	sc.Users = 200
+	sc.ObjectSizeMB = 32
+	sc.HorizonHours = 2000
+	sc.Seed = seed
+
+	bounds, ok, err := core.AnalyticScreen(sc)
+	if err != nil {
+		return Report{}, err
+	}
+	if !ok {
+		return Report{}, fmt.Errorf("validate: scenario is outside the screening model's reach")
+	}
+	res, err := core.Runner{Trials: trials}.Run(sc)
+	if err != nil {
+		return Report{}, err
+	}
+	simU := res.Metrics["unavail_fraction"]
+	const margin = core.DefaultScreenMargin
+	pass := simU <= bounds.SysUnavail*(1+margin) && simU >= bounds.ObjUnavailLower/(1+margin)
+	rel := math.Abs(simU - bounds.SysUnavail)
+	if bounds.SysUnavail != 0 {
+		rel /= bounds.SysUnavail
+	}
+	return Report{
+		Name:      "screening bounds (birth-death vs simulation)",
+		Simulated: simU, Analytic: bounds.SysUnavail,
+		RelErr: rel, Tolerance: margin, Pass: pass,
+	}, nil
+}
+
 // RunAll executes the standard validation suite.
 func RunAll(seed uint64) ([]Report, error) {
 	var reports []Report
@@ -271,5 +321,10 @@ func RunAll(seed uint64) ([]Report, error) {
 		}
 		reports = append(reports, r)
 	}
+	r, err = ScreeningBoundsValidation(8, seed+4)
+	if err != nil {
+		return nil, err
+	}
+	reports = append(reports, r)
 	return reports, nil
 }

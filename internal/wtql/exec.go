@@ -184,7 +184,11 @@ var paramAppliers = map[string]applier{
 }
 
 // execution-only parameters (not part of the scenario).
-var execParams = map[string]bool{"trials": true, "workers": true, "target_ci": true}
+var execParams = map[string]bool{
+	"trials": true, "workers": true, "target_ci": true,
+	"antithetic": true, "crn": true, "failure_bias": true,
+	"screen": true, "screen_margin": true,
+}
 
 func setInt(dst *int, v any, name string) error {
 	f, ok := toFloat(v)
@@ -236,6 +240,9 @@ type Row struct {
 	Metrics map[string]float64
 	Passed  bool
 	Pruned  bool
+	// Screened marks a row decided by the analytic screening pass — its
+	// metrics are closed-form estimates, not simulation output.
+	Screened bool
 }
 
 // ResultSet is a query's output.
@@ -245,9 +252,15 @@ type ResultSet struct {
 	Rows     []Row
 	Executed int
 	Pruned   int
+	Screened int
+	// Settings holds the session settings applied by a SET statement.
+	Settings map[string]string
 }
 
-// Engine executes WTQL queries against the wind tunnel core.
+// Engine executes WTQL queries against the wind tunnel core. The
+// variance-reduction and screening fields are session settings, mutable
+// via `SET` statements (see the package grammar) and overridable
+// per-query in WITH.
 type Engine struct {
 	// Trials is the default per-point trial count (overridable per-query
 	// via WITH trials = n).
@@ -259,6 +272,25 @@ type Engine struct {
 	// simulation output data is kept for later exploration and
 	// similar-configuration queries).
 	Store *results.Store
+	// Screen enables the §2.2 analytic screening pass (`SET
+	// explore.screen = on`). Screening is applied only when the query's
+	// WHERE clause consists solely of sla.availability conjuncts, so the
+	// analytic decision is sound for the whole filter.
+	Screen bool
+	// ScreenMargin is the screening safety factor; it applies only when
+	// ScreenMarginSet is true, and zero then means exact-threshold
+	// screening. When unset, core.DefaultScreenMargin is used.
+	ScreenMargin    float64
+	ScreenMarginSet bool
+	// CRN enables common-random-numbers stream keying (`SET runner.crn
+	// = on`).
+	CRN bool
+	// Antithetic enables antithetic trial pairing (`SET
+	// runner.antithetic = on`).
+	Antithetic bool
+	// FailureBias > 1 enables failure-biased importance sampling (`SET
+	// runner.failure_bias = b`).
+	FailureBias float64
 }
 
 // Similar returns the k archived configurations nearest to config,
@@ -280,8 +312,93 @@ func (e *Engine) Execute(queryText string) (*ResultSet, error) {
 	return e.Run(q)
 }
 
+// applySetting mutates one engine session setting and returns the
+// post-mutation value rendered for display.
+func (e *Engine) applySetting(a Assign) (string, error) {
+	onOff := func(dst *bool) error {
+		switch v := a.Value.(type) {
+		case bool:
+			*dst = v
+			return nil
+		case string:
+			switch strings.ToLower(v) {
+			case "on", "true", "1":
+				*dst = true
+				return nil
+			case "off", "false", "0":
+				*dst = false
+				return nil
+			}
+		}
+		return fmt.Errorf("wtql: %s wants on/off, got %v", a.Param, a.Value)
+	}
+	num := func(dst *float64, min float64) error {
+		f, ok := toFloat(a.Value)
+		if !ok || f < min {
+			return fmt.Errorf("wtql: %s wants a number >= %g, got %v", a.Param, min, a.Value)
+		}
+		*dst = f
+		return nil
+	}
+	switch a.Param {
+	case "explore.screen":
+		if err := onOff(&e.Screen); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%t", e.Screen), nil
+	case "explore.screen_margin":
+		if err := num(&e.ScreenMargin, 0); err != nil {
+			return "", err
+		}
+		e.ScreenMarginSet = true
+		return fmt.Sprintf("%g", e.ScreenMargin), nil
+	case "runner.crn":
+		if err := onOff(&e.CRN); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%t", e.CRN), nil
+	case "runner.antithetic":
+		if err := onOff(&e.Antithetic); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%t", e.Antithetic), nil
+	case "runner.failure_bias":
+		if err := num(&e.FailureBias, 0); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%g", e.FailureBias), nil
+	default:
+		return "", fmt.Errorf("wtql: unknown setting %q in SET", a.Param)
+	}
+}
+
+// runSet applies a SET statement and reports the resulting settings.
+// Application is atomic: every assignment is validated against a
+// scratch copy first, so a mid-list error leaves the engine untouched.
+func (e *Engine) runSet(q *Query) (*ResultSet, error) {
+	scratch := *e
+	for _, a := range q.Set {
+		if _, err := scratch.applySetting(a); err != nil {
+			return nil, err
+		}
+	}
+	rs := &ResultSet{Query: q, Columns: []string{"setting", "value"},
+		Settings: make(map[string]string, len(q.Set))}
+	for _, a := range q.Set {
+		now, err := e.applySetting(a)
+		if err != nil {
+			return nil, err // unreachable: validated above
+		}
+		rs.Settings[a.Param] = now
+	}
+	return rs, nil
+}
+
 // Run executes a parsed query.
 func (e *Engine) Run(q *Query) (*ResultSet, error) {
+	if len(q.Set) > 0 {
+		return e.runSet(q)
+	}
 	if q.Metric != "availability" {
 		return nil, fmt.Errorf("wtql: unsupported SIMULATE target %q (only 'availability')", q.Metric)
 	}
@@ -291,32 +408,61 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 	}
 	workers := 0
 	targetCI := 0.0
+	screen := e.Screen
+	screenMargin := e.ScreenMargin
+	screenMarginSet := e.ScreenMarginSet
+	crn := e.CRN
+	antithetic := e.Antithetic
+	failureBias := e.FailureBias
+
+	boolArg := func(dst *bool, v any, name string) error {
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("wtql: %s wants TRUE or FALSE, got %v", name, v)
+		}
+		*dst = b
+		return nil
+	}
+	floatArg := func(dst *float64, v any, name string) error {
+		f, ok := toFloat(v)
+		if !ok || f < 0 {
+			return fmt.Errorf("wtql: %s wants a non-negative number, got %v", name, v)
+		}
+		*dst = f
+		return nil
+	}
 
 	base := core.DefaultScenario()
 	for _, a := range q.With {
+		var err error
 		switch a.Param {
 		case "trials":
-			if err := setInt(&trials, a.Value, "trials"); err != nil {
-				return nil, err
-			}
+			err = setInt(&trials, a.Value, "trials")
 		case "workers":
-			if err := setInt(&workers, a.Value, "workers"); err != nil {
-				return nil, err
-			}
+			err = setInt(&workers, a.Value, "workers")
 		case "target_ci":
-			f, ok := toFloat(a.Value)
-			if !ok || f < 0 {
-				return nil, fmt.Errorf("wtql: target_ci wants a non-negative number")
+			err = floatArg(&targetCI, a.Value, "target_ci")
+		case "screen":
+			err = boolArg(&screen, a.Value, "screen")
+		case "screen_margin":
+			if err = floatArg(&screenMargin, a.Value, "screen_margin"); err == nil {
+				screenMarginSet = true
 			}
-			targetCI = f
+		case "crn":
+			err = boolArg(&crn, a.Value, "crn")
+		case "antithetic":
+			err = boolArg(&antithetic, a.Value, "antithetic")
+		case "failure_bias":
+			err = floatArg(&failureBias, a.Value, "failure_bias")
 		default:
 			apply, ok := paramAppliers[a.Param]
 			if !ok {
 				return nil, fmt.Errorf("wtql: unknown parameter %q in WITH", a.Param)
 			}
-			if err := apply(&base, a.Value); err != nil {
-				return nil, err
-			}
+			err = apply(&base, a.Value)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -367,9 +513,22 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 			}
 			return sc, slas, nil
 		},
-		Runner:  core.Runner{Trials: trials, TargetCI: targetCI},
+		Runner: core.Runner{
+			Trials: trials, TargetCI: targetCI,
+			CRN: crn, Antithetic: antithetic, FailureBias: failureBias,
+		},
 		Prune:   prune,
 		Workers: workers,
+	}
+	// Screening is sound for this query only when the WHERE filter is
+	// exactly the availability conjunction the screen can decide; other
+	// filters fall back to full simulation (nothing is skipped).
+	if screen && q.Where != nil && availabilityOnlyWhere(q.Where) {
+		margin := screenMargin
+		if !screenMarginSet {
+			margin = core.DefaultScreenMargin
+		}
+		explorer.Screen = &core.ScreenRule{Margin: margin}
 	}
 	exploration, err := explorer.Run()
 	if err != nil {
@@ -377,12 +536,14 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 	}
 
 	// Assemble rows.
-	rs := &ResultSet{Query: q, Executed: exploration.Executed, Pruned: exploration.Pruned}
+	rs := &ResultSet{Query: q, Executed: exploration.Executed,
+		Pruned: exploration.Pruned, Screened: exploration.Screened}
 	for _, out := range exploration.Outcomes {
 		row := Row{
-			Config:  map[string]string{},
-			Metrics: map[string]float64{},
-			Pruned:  out.Pruned,
+			Config:   map[string]string{},
+			Metrics:  map[string]float64{},
+			Pruned:   out.Pruned,
+			Screened: out.Screened,
 		}
 		for name, v := range out.Point.Assignments() {
 			row.Config[name] = design.FormatValue(v)
@@ -413,7 +574,13 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 		row.Metrics["storage.overhead"] = sc.Scheme.Overhead()
 
 		passed := true
-		if q.Where != nil {
+		if out.Screened {
+			// A screened row was decided by the analytic bounds against
+			// the lifted availability SLAs — exactly the WHERE filter
+			// (screening is only enabled for availability-only WHERE
+			// trees) — so the decision IS the filter answer.
+			passed = out.AllMet
+		} else if q.Where != nil {
 			passed, err = evalExpr(q.Where, row)
 			if err != nil {
 				return nil, err
@@ -428,7 +595,7 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 				Config:   row.Config,
 				Metrics:  row.Metrics,
 				Seed:     base.Seed,
-				Trials:   trials,
+				Trials:   out.Result.Trials, // 0 for screened rows
 				AllMet:   passed,
 			}); err != nil {
 				return nil, err
@@ -464,6 +631,19 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 	rs.Rows = final
 	rs.Columns = columnsFor(q, final)
 	return rs, nil
+}
+
+// availabilityOnlyWhere reports whether the WHERE tree is exactly a
+// conjunction of `sla.availability >= x` (or `>`) comparisons — the
+// shape the analytic screen can decide in full.
+func availabilityOnlyWhere(e Expr) bool {
+	switch x := e.(type) {
+	case BinaryExpr:
+		return x.Op == "AND" && availabilityOnlyWhere(x.Left) && availabilityOnlyWhere(x.Right)
+	case CompareExpr:
+		return x.Ident == "sla.availability" && (x.Op == ">=" || x.Op == ">")
+	}
+	return false
 }
 
 // extractAvailabilitySLAs lifts `sla.availability >= x` conjuncts out of
@@ -599,6 +779,14 @@ func columnsFor(q *Query, rows []Row) []string {
 // Render formats the result set as an aligned text table.
 func (rs *ResultSet) Render() string {
 	var b strings.Builder
+	if rs.Settings != nil {
+		fmt.Fprintf(&b, "%-28s  %s\n", "setting", "value")
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat("-", 28), strings.Repeat("-", 8))
+		for _, a := range rs.Query.Set {
+			fmt.Fprintf(&b, "%-28s  %s\n", a.Param, rs.Settings[a.Param])
+		}
+		return b.String()
+	}
 	widths := make([]int, len(rs.Columns))
 	for i, c := range rs.Columns {
 		widths[i] = len(c)
@@ -635,7 +823,7 @@ func (rs *ResultSet) Render() string {
 		}
 		b.WriteString("\n")
 	}
-	fmt.Fprintf(&b, "(%d rows; %d configurations executed, %d pruned)\n",
-		len(rs.Rows), rs.Executed, rs.Pruned)
+	fmt.Fprintf(&b, "(%d rows; %d configurations executed, %d screened, %d pruned)\n",
+		len(rs.Rows), rs.Executed, rs.Screened, rs.Pruned)
 	return b.String()
 }

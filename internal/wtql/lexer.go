@@ -6,17 +6,28 @@
 //
 // Grammar (keywords case-insensitive):
 //
+//	stmt   := query | set
 //	query  := SIMULATE ident
 //	          [ VARY vary ("," vary)* ]
 //	          [ WITH assign ("," assign)* ]
 //	          [ WHERE expr ]
 //	          [ ORDER BY ident [ASC|DESC] ]
 //	          [ LIMIT int ] [ ";" ]
+//	set    := SET assign ("," assign)* [ ";" ]
 //	vary   := dotted IN "(" value ("," value)* ")" [ MONOTONE ]
 //	assign := dotted "=" value
 //	expr   := or ; or := and (OR and)* ; and := not (AND not)*
 //	not    := NOT not | "(" expr ")" | dotted cmp operand
 //	cmp    := "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// SET mutates engine session settings (SET values additionally accept
+// bare words, so `SET explore.screen = on` works):
+//
+//	SET explore.screen = on;           -- analytic screening (§2.2)
+//	SET explore.screen_margin = 1.0;   -- screening safety factor
+//	SET runner.crn = on;               -- common random numbers (§4.2)
+//	SET runner.antithetic = on;        -- antithetic trial pairing
+//	SET runner.failure_bias = 3;       -- failure-biased importance sampling
 //
 // Example:
 //
@@ -55,7 +66,7 @@ var keywords = map[string]bool{
 	"SIMULATE": true, "VARY": true, "IN": true, "WITH": true,
 	"WHERE": true, "ORDER": true, "BY": true, "LIMIT": true,
 	"AND": true, "OR": true, "NOT": true, "ASC": true, "DESC": true,
-	"MONOTONE": true, "TRUE": true, "FALSE": true,
+	"MONOTONE": true, "TRUE": true, "FALSE": true, "SET": true,
 }
 
 // token is one lexical unit.

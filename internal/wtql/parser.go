@@ -5,7 +5,8 @@ import (
 	"strconv"
 )
 
-// Query is the parsed AST of a WTQL statement.
+// Query is the parsed AST of a WTQL statement. A SET statement parses
+// into a Query with Set filled and Metric empty.
 type Query struct {
 	Metric  string // SIMULATE target, e.g. "availability"
 	Vary    []VaryClause
@@ -13,7 +14,8 @@ type Query struct {
 	Where   Expr // nil when absent
 	OrderBy string
 	Desc    bool
-	Limit   int // 0 = unlimited
+	Limit   int      // 0 = unlimited
+	Set     []Assign // SET statement assignments (engine settings)
 }
 
 // VaryClause is one swept dimension.
@@ -91,6 +93,9 @@ func (p *parser) acceptKeyword(kw string) bool {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	if p.cur().kind == tokKeyword && p.cur().text == "SET" {
+		return p.parseSet()
+	}
 	if err := p.expectKeyword("SIMULATE"); err != nil {
 		return nil, err
 	}
@@ -158,6 +163,48 @@ func (p *parser) parseQuery() (*Query, error) {
 			return nil, fmt.Errorf("wtql: LIMIT must be a positive integer, got %q", t.text)
 		}
 		q.Limit = n
+	}
+	if p.cur().kind == tokSemicolon {
+		p.pos++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("wtql: unexpected trailing input %q at offset %d", p.cur().text, p.cur().pos)
+	}
+	return q, nil
+}
+
+// parseSet parses `SET assign ("," assign)* [";"]`. Setting values
+// additionally accept bare identifiers as strings so toggles read
+// naturally: `SET explore.screen = on`.
+func (p *parser) parseSet() (*Query, error) {
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("wtql: expected setting name in SET at offset %d", t.pos)
+		}
+		a := Assign{Param: t.text}
+		op := p.next()
+		if op.kind != tokOp || op.text != "=" {
+			return nil, fmt.Errorf("wtql: expected '=' after %s at offset %d", a.Param, op.pos)
+		}
+		if p.cur().kind == tokIdent {
+			a.Value = p.next().text
+		} else {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			a.Value = v
+		}
+		q.Set = append(q.Set, a)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.pos++
 	}
 	if p.cur().kind == tokSemicolon {
 		p.pos++

@@ -329,3 +329,142 @@ func TestEngineDistSpecParams(t *testing.T) {
 		}
 	}
 }
+
+func TestSetStatement(t *testing.T) {
+	e := &Engine{}
+	rs, err := e.Execute(`SET explore.screen = on, explore.screen_margin = 1.5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Screen || e.ScreenMargin != 1.5 {
+		t.Fatalf("SET did not apply: screen=%v margin=%v", e.Screen, e.ScreenMargin)
+	}
+	if rs.Settings["explore.screen"] != "true" || rs.Settings["explore.screen_margin"] != "1.5" {
+		t.Fatalf("settings echo wrong: %v", rs.Settings)
+	}
+	if out := rs.Render(); !strings.Contains(out, "explore.screen") {
+		t.Errorf("SET render missing setting:\n%s", out)
+	}
+	if _, err := e.Execute(`SET runner.antithetic = TRUE`); err != nil || !e.Antithetic {
+		t.Fatalf("runner.antithetic SET failed: %v", err)
+	}
+	if _, err := e.Execute(`SET runner.crn = off`); err != nil || e.CRN {
+		t.Fatalf("runner.crn SET failed: %v", err)
+	}
+	if _, err := e.Execute(`SET runner.failure_bias = 3`); err != nil || e.FailureBias != 3 {
+		t.Fatalf("runner.failure_bias SET failed: %v", err)
+	}
+	for _, bad := range []string{
+		"SET bogus.setting = on",
+		"SET explore.screen = 7up",
+		"SET explore.screen_margin = -1",
+		"SET runner.failure_bias = 'lots'",
+	} {
+		if _, err := e.Execute(bad); err == nil {
+			t.Errorf("Execute(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEngineScreening(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.Execute(`SET explore.screen = on`); err != nil {
+		t.Fatal(err)
+	}
+	// Replication 7 and 9 clear availability 0.9 analytically (the
+	// default scenario's failure model); 1 and 3 must simulate.
+	rs, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (1, 3, 7, 9)
+		WITH users = 100, trials = 2, horizon_hours = 2000, object_mb = 5,
+		     cluster.racks = 2, cluster.nodes_per_rack = 5,
+		     node.mttf_hours = 500, node.repair_hours = 12,
+		     repair.detection_hours = 6
+		WHERE sla.availability >= 0.9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Screened == 0 {
+		t.Fatalf("no configurations screened (executed %d)", rs.Executed)
+	}
+	if rs.Screened+rs.Executed != 4 {
+		t.Fatalf("screened %d + executed %d != 4 (silent skip!)", rs.Screened, rs.Executed)
+	}
+	if out := rs.Render(); !strings.Contains(out, "screened") {
+		t.Errorf("render does not report screening:\n%s", out)
+	}
+	// Screened rows carry the analytic availability estimate.
+	found := false
+	for _, row := range rs.Rows {
+		if row.Screened {
+			found = true
+			if row.Metrics["analytic"] != 1 {
+				t.Errorf("screened row missing analytic marker: %v", row.Metrics)
+			}
+		}
+	}
+	if !found {
+		t.Error("no screened row survived the WHERE filter")
+	}
+
+	// A WHERE clause the screen cannot decide disables screening for the
+	// query — everything simulates, nothing is silently skipped.
+	rs2, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (3, 7)
+		WITH users = 20, trials = 1, horizon_hours = 500, object_mb = 5,
+		     cluster.racks = 1, cluster.nodes_per_rack = 8
+		WHERE sla.availability >= 0.9 AND cost.total <= 10000000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Screened != 0 || rs2.Executed != 2 {
+		t.Fatalf("mixed WHERE screened %d executed %d, want 0 and 2", rs2.Screened, rs2.Executed)
+	}
+}
+
+func TestEngineVarianceReductionParams(t *testing.T) {
+	e := &Engine{}
+	rs, err := e.Execute(`
+		SIMULATE availability
+		VARY storage.replication IN (1, 3)
+		WITH users = 20, trials = 4, horizon_hours = 500, object_mb = 5,
+		     cluster.racks = 1, cluster.nodes_per_rack = 6,
+		     antithetic = TRUE, crn = TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Executed != 2 {
+		t.Fatalf("executed %d, want 2", rs.Executed)
+	}
+	if _, err := e.Execute(`
+		SIMULATE availability VARY storage.replication IN (3)
+		WITH users = 20, trials = 2, horizon_hours = 500, antithetic = 7`); err == nil {
+		t.Error("non-boolean antithetic accepted")
+	}
+	if _, err := e.Execute(`
+		SIMULATE availability VARY storage.replication IN (3)
+		WITH users = 20, trials = 2, horizon_hours = 500, failure_bias = 'big'`); err == nil {
+		t.Error("non-numeric failure_bias accepted")
+	}
+}
+
+func TestSetStatementAtomic(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.Execute(`SET runner.antithetic = on, runner.failure_bias = -1`); err == nil {
+		t.Fatal("invalid SET accepted")
+	}
+	if e.Antithetic {
+		t.Error("failed SET statement partially applied (runner.antithetic mutated)")
+	}
+}
+
+func TestScreenMarginZeroIsExact(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.Execute(`SET explore.screen_margin = 0`); err != nil {
+		t.Fatal(err)
+	}
+	if !e.ScreenMarginSet || e.ScreenMargin != 0 {
+		t.Fatalf("margin 0 not recorded as explicit: set=%v margin=%v", e.ScreenMarginSet, e.ScreenMargin)
+	}
+}

@@ -52,8 +52,14 @@ type Runner = core.Runner
 // AbortRule enables §4.2 early abort inside trials.
 type AbortRule = core.AbortRule
 
-// Explorer sweeps a design space with optional dominance pruning.
+// Explorer sweeps a design space with optional dominance pruning and
+// analytic screening.
 type Explorer = core.Explorer
+
+// ScreenRule configures the §2.2 analytic screening pass: design points
+// whose closed-form availability bounds clear (or provably miss) every
+// availability SLA by the margin are decided without simulation.
+type ScreenRule = core.ScreenRule
 
 // Figure1Config parameterizes a point of the paper's Figure 1.
 type Figure1Config = core.Figure1Config
