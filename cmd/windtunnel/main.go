@@ -28,11 +28,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/cost"
 	"repro/internal/dist"
@@ -187,7 +190,18 @@ func main() {
 	trials := flag.Int("trials", 10, "independent simulation trials")
 	minAvail := flag.Float64("min-availability", 0, "availability SLA to check (0 = none)")
 	maxLoss := flag.Float64("max-loss", -1, "durability SLA: max loss probability (-1 = none)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run (at trial granularity); -timeout
+	// bounds it. Either way the process exits non-zero via fatal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	spec := scenarioSpec{}
 	if *scenarioPath != "" {
@@ -220,7 +234,7 @@ func main() {
 		slas = append(slas, s)
 	}
 
-	res, err := windtunnel.Runner{Trials: *trials, SLAs: slas}.Run(sc)
+	res, err := windtunnel.Runner{Trials: *trials, SLAs: slas}.RunContext(ctx, sc)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,112 @@
+// Command windtunneld is the wind tunnel daemon: a long-running HTTP
+// server that executes WTQL queries as concurrent jobs on a shared
+// bounded worker pool, streams per-design-point progress and results as
+// NDJSON, and reuses completed trial statistics across queries and
+// restarts via a content-addressed trial cache.
+//
+// Usage:
+//
+//	windtunneld -addr :8866 -pool 8 -cache-dir /var/cache/windtunnel
+//
+// API:
+//
+//	POST   /v1/query      {"query": "SIMULATE ...", "trials": 5} -> NDJSON stream
+//	GET    /v1/jobs       job listing
+//	GET    /v1/jobs/{id}  one job
+//	DELETE /v1/jobs/{id}  cancel a running job
+//	GET    /v1/cache      trial-cache and pool statistics
+//	GET    /v1/healthz    liveness
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: new queries are
+// refused with 503, in-flight jobs stream to completion within the
+// -drain window, then remaining jobs are cancelled and the result
+// archive (when -store is set) is saved.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/results"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8866", "listen address")
+	pool := flag.Int("pool", 0, "shared simulation worker slots (0 = GOMAXPROCS)")
+	trials := flag.Int("trials", 5, "default trials per configuration (WITH trials overrides)")
+	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "trial cache memory-tier capacity (results)")
+	cacheDir := flag.String("cache-dir", "", "trial cache disk tier directory (empty = memory only)")
+	storePath := flag.String("store", "", "JSON result archive shared by all jobs (§4.4)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window for in-flight jobs")
+	flag.Parse()
+
+	cfg := service.Config{
+		Trials:       *trials,
+		PoolSize:     *pool,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	}
+	if *storePath != "" {
+		store, err := results.Load(*storePath)
+		if errors.Is(err, fs.ErrNotExist) {
+			store = results.NewStore()
+		} else if err != nil {
+			fatal(err)
+		}
+		cfg.Store = store
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("windtunneld listening on %s (pool=%d, cache=%d entries, disk=%q)",
+		*addr, svc.Pool().Cap(), *cacheEntries, *cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("windtunneld draining (up to %s)...", *drain)
+	svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// Drain window expired: cancel whatever is still running so the
+		// streams terminate, then force-close.
+		log.Printf("drain window expired, cancelling remaining jobs: %v", err)
+		svc.CancelAll()
+		httpSrv.Close()
+	}
+	if *storePath != "" && cfg.Store != nil {
+		if err := cfg.Store.Save(*storePath); err != nil {
+			fatal(err)
+		}
+		log.Printf("archived %d runs in %s", cfg.Store.Len(), *storePath)
+	}
+	st := svc.Cache().Stats()
+	log.Printf("windtunneld stopped (cache: %d entries, %.1f%% hit rate, %d evictions)",
+		st.Entries, 100*st.HitRate(), st.Evictions)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "windtunneld:", err)
+	os.Exit(1)
+}

@@ -1,20 +1,37 @@
 // Command wtql executes Wind Tunnel Query Language statements — the
-// declarative what-if interface of §4.1 of the paper.
+// declarative what-if interface of §4.1 of the paper — either locally or
+// against a running windtunneld daemon.
 //
 // Usage:
 //
 //	wtql -q "SIMULATE availability VARY storage.replication IN (3,5) ..."
-//	wtql -f query.wtql
+//	wtql -f query.wtql -timeout 2m
 //	echo "SIMULATE ..." | wtql
+//	wtql -server http://localhost:8866 -q "SIMULATE ..."   # daemon mode
+//
+// In daemon mode the query is POSTed to /v1/query; per-design-point
+// progress events stream to stderr and the final table (byte-identical
+// to a local run) prints to stdout. SIGINT/SIGTERM and -timeout cancel
+// the run — locally at design-point granularity, remotely by dropping
+// the connection (the daemon cancels the job when the client goes away).
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"io/fs"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/results"
 	"repro/internal/wtql"
@@ -26,6 +43,9 @@ func main() {
 	trials := flag.Int("trials", 5, "default trials per configuration")
 	workers := flag.Int("workers", 0, "point-level parallelism (0 = GOMAXPROCS)")
 	storePath := flag.String("store", "", "JSON result archive to append executed configurations to (§4.4)")
+	server := flag.String("server", "", "windtunneld base URL (empty = execute locally)")
+	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "print per-point progress to stderr (daemon mode)")
 	flag.Parse()
 
 	text := *query
@@ -47,6 +67,35 @@ func main() {
 		fatal(fmt.Errorf("no query given: use -q, -f or stdin"))
 	}
 
+	// SIGINT/SIGTERM cancel the run; -timeout bounds it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *server != "" {
+		// Send trials only when the flag was given explicitly: the
+		// daemon has its own -trials default, and the client's flag
+		// default must not silently override it. Flags that only make
+		// sense locally are refused rather than silently ignored.
+		remoteTrials := 0
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "trials":
+				remoteTrials = *trials
+			case "store", "workers":
+				fatal(fmt.Errorf("-%s has no effect with -server: the daemon owns its archive and worker pool", f.Name))
+			}
+		})
+		if err := runRemote(ctx, *server, text, remoteTrials, *progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	engine := &wtql.Engine{Trials: *trials, Workers: *workers}
 	if *storePath != "" {
 		store, err := results.Load(*storePath)
@@ -57,7 +106,7 @@ func main() {
 		}
 		engine.Store = store
 	}
-	rs, err := engine.Execute(text)
+	rs, err := engine.ExecuteContext(ctx, text)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,6 +117,112 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "archived %d total runs in %s\n", engine.Store.Len(), *storePath)
 	}
+}
+
+// runRemote posts the query to a windtunneld daemon and streams the
+// NDJSON response: progress to stderr, the final table to stdout.
+// trials == 0 leaves the daemon's configured default in force.
+func runRemote(ctx context.Context, base, text string, trials int, progress bool) error {
+	payload := map[string]any{"query": text}
+	if trials > 0 {
+		payload["trials"] = trials
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(base, "/") + "/v1/query"
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		// The daemon's refusals (400/503) are single JSON error objects;
+		// anything else (wrong port, proxy error page) gets reported by
+		// status rather than fed to the NDJSON parser.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var ev struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(bytes.TrimSpace(body), &ev) == nil && ev.Error != "" {
+			return fmt.Errorf("server (HTTP %d): %s", resp.StatusCode, ev.Error)
+		}
+		return fmt.Errorf("server returned HTTP %d: %s", resp.StatusCode,
+			strings.TrimSpace(string(body)))
+	}
+
+	// ReadBytes instead of a Scanner: the result event is one line
+	// carrying every row plus the rendered table, and a fixed token cap
+	// would make large sweeps fail client-side after the server already
+	// did all the work.
+	rd := bufio.NewReader(resp.Body)
+	sawResult := false
+	start := time.Now()
+	for {
+		line, readErr := rd.ReadBytes('\n')
+		if readErr != nil && readErr != io.EOF {
+			return readErr
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			if readErr == io.EOF {
+				break
+			}
+			continue
+		}
+		var ev struct {
+			Type      string             `json:"type"`
+			ID        string             `json:"id"`
+			Error     string             `json:"error"`
+			Done      int                `json:"done"`
+			Total     int                `json:"total"`
+			Cached    bool               `json:"cached"`
+			Config    map[string]string  `json:"config"`
+			Metrics   map[string]float64 `json:"metrics"`
+			Table     string             `json:"table"`
+			CacheHits int                `json:"cache_hits"`
+			Executed  int                `json:"executed"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", line, err)
+		}
+		switch ev.Type {
+		case "job":
+			if progress {
+				fmt.Fprintf(os.Stderr, "job %s accepted\n", ev.ID)
+			}
+		case "point":
+			if progress {
+				note := ""
+				if ev.Cached {
+					note = " (cached)"
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %v%s\n", ev.Done, ev.Total, ev.Config, note)
+			}
+		case "result":
+			sawResult = true
+			fmt.Print(ev.Table)
+			if progress {
+				fmt.Fprintf(os.Stderr, "%d executed, %d cache hits, %s elapsed\n",
+					ev.Executed, ev.CacheHits, time.Since(start).Round(time.Millisecond))
+			}
+		case "error":
+			return fmt.Errorf("server: %s", ev.Error)
+		}
+		if readErr == io.EOF {
+			break
+		}
+	}
+	if !sawResult {
+		return fmt.Errorf("stream ended without a result (HTTP %d)", resp.StatusCode)
+	}
+	return nil
 }
 
 func fatal(err error) {

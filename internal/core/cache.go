@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"strconv"
+
+	"repro/internal/dist"
+	"repro/internal/repair"
+	"repro/internal/results"
+)
+
+// TrialCache memoizes completed trial statistics by content address. The
+// Explorer consults it before simulating a design point and fills it
+// afterwards, so overlapping sweeps — across queries, sessions and (with
+// a disk-backed implementation) process restarts — reuse work instead of
+// re-simulating. Implementations must be safe for concurrent use and
+// must treat cached results as immutable.
+//
+// Correctness contract: a cached result is the byte-identical statistics
+// of a fresh run of the same key. That holds because (a) CacheKey covers
+// every input that can influence a run's output — the full scenario, the
+// seed and every engine knob that changes the aggregation path — while
+// excluding only Workers (runs are Workers-independent by construction)
+// and the SLA list (checked after simulation, against cached results
+// too), and (b) runs themselves are deterministic functions of that key.
+type TrialCache interface {
+	// Get returns the cached result for key, or ok=false.
+	Get(key string) (*RunResult, bool)
+	// Put stores a completed (SLA-free) result under key.
+	Put(key string, r *RunResult)
+}
+
+// Gate bounds simulation concurrency across independently-running
+// sweeps. The serving layer injects one shared gate into every job's
+// Explorer so the whole daemon respects a single worker budget, however
+// many queries are in flight.
+type Gate interface {
+	// Acquire blocks until a slot is free or ctx is done.
+	Acquire(ctx context.Context) error
+	// Release frees a slot taken by Acquire.
+	Release()
+}
+
+// CacheKey returns the content address of one (scenario, runner) trial
+// batch: a fingerprint over a normalized key/value encoding of every
+// field that determines the run's output. Scenario.Name and
+// Runner.Workers are deliberately excluded (cosmetic / result-invariant),
+// as are the SLAs (applied after simulation). Distributions enter via
+// their spec-grammar String() form plus exact-formatted moments and
+// quantiles (see distKey), so parameters differing below String()'s
+// 6-significant-digit rounding still produce distinct keys.
+func CacheKey(sc Scenario, r Runner) string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b := func(v bool) string { return strconv.FormatBool(v) }
+	kv := map[string]string{
+		"cluster.racks":              strconv.Itoa(sc.Cluster.Racks),
+		"cluster.nodes_per_rack":     strconv.Itoa(sc.Cluster.NodesPerRack),
+		"cluster.disk_spec":          sc.Cluster.DiskSpec,
+		"cluster.disks_per_node":     strconv.Itoa(sc.Cluster.DisksPerNode),
+		"cluster.nic_spec":           sc.Cluster.NICSpec,
+		"cluster.cpu_spec":           sc.Cluster.CPUSpec,
+		"cluster.mem_spec":           sc.Cluster.MemSpec,
+		"cluster.switch_spec":        sc.Cluster.SwitchSpec,
+		"cluster.uplink_mbps":        f(sc.Cluster.UplinkMBps),
+		"cluster.link_latency":       f(sc.Cluster.LinkLatency),
+		"cluster.node_ttf":           distKey(sc.Cluster.NodeTTF),
+		"cluster.node_repair":        distKey(sc.Cluster.NodeRepair),
+		"cluster.component_failures": b(sc.Cluster.ComponentFailures),
+		"cluster.switch_failures":    b(sc.Cluster.SwitchFailures),
+		"users":                      strconv.Itoa(sc.Users),
+		"object_mb":                  f(sc.ObjectSizeMB),
+		"scheme":                     sc.Scheme.String(),
+		"placement":                  sc.Placement,
+		"repair.mode":                strconv.Itoa(int(sc.Repair.Mode)),
+		"repair.max_concurrent":      strconv.Itoa(repairSlots(sc.Repair)),
+		"repair.detection":           distKey(sc.Repair.Detection),
+		"horizon_hours":              f(sc.HorizonHours),
+		"seed":                       strconv.FormatUint(sc.Seed, 10),
+		"runner.trials":              strconv.Itoa(r.Trials),
+		"runner.target_ci":           f(r.TargetCI),
+		"runner.crn":                 b(r.CRN),
+		"runner.antithetic":          b(r.Antithetic),
+		"runner.failure_bias":        f(r.FailureBias),
+		"runner.abort":               abortKey(r.Abort),
+	}
+	return results.Fingerprint(kv)
+}
+
+// distKey canonically encodes a distribution for fingerprinting. The
+// spec-grammar String() form alone is not enough: it rounds parameters
+// to 6 significant digits, so two distributions differing only beyond
+// that (e.g. MLE fits of slightly different traces) would collide and
+// the cache would serve one scenario's statistics for the other.
+// Appending the exact (shortest-round-trip float64) encodings of the
+// mean, variance and three quantiles makes a collision require the two
+// distributions to agree bit-exactly on five functionals *and* share a
+// family and 6-digit parameters — at which point they are the same
+// sampler for every practical purpose.
+func distKey(d dist.Dist) string {
+	if d == nil {
+		return ""
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return d.String() +
+		"|m=" + f(d.Mean()) +
+		"|v=" + f(d.Variance()) +
+		"|q25=" + f(d.Quantile(0.25)) +
+		"|q50=" + f(d.Quantile(0.5)) +
+		"|q90=" + f(d.Quantile(0.9))
+}
+
+// repairSlots normalizes the concurrency knob: in Serial mode
+// MaxConcurrent is ignored by the repair manager, so two configs that
+// differ only there are the same run.
+func repairSlots(c repair.Config) int {
+	if c.Mode == repair.Serial {
+		return 1
+	}
+	return c.MaxConcurrent
+}
+
+func abortKey(a *AbortRule) string {
+	if a == nil {
+		return ""
+	}
+	return strconv.FormatFloat(a.MinAvailability, 'g', -1, 64) + "/" +
+		strconv.FormatUint(a.CheckEvery, 10)
+}
+
+// cloneForSLA returns a copy whose SLA verdict fields can be written
+// without mutating the (shared, immutable) cached result. Metric maps
+// are shared read-only.
+func (r *RunResult) cloneForSLA() *RunResult {
+	c := *r
+	c.Verdicts = nil
+	c.AllMet = false
+	return &c
+}

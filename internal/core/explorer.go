@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -20,7 +21,12 @@ type PointOutcome struct {
 	// screening pass (§2.2) without simulation; Decision says which way.
 	Screened bool
 	Decision ScreenDecision
-	AllMet   bool
+	// FromCache reports that Result was served from the trial cache
+	// rather than a fresh simulation. By the cache contract it is
+	// byte-identical to what the simulation would have produced, so it
+	// counts as Executed in the Exploration totals.
+	FromCache bool
+	AllMet    bool
 	// Objective is the optimization value (lower is better) when the
 	// explorer has an objective function.
 	Objective float64
@@ -35,7 +41,12 @@ type Exploration struct {
 	// Every screened point still appears in Outcomes — nothing is
 	// silently skipped.
 	Screened int
-	Events   uint64
+	// CacheHits counts executed points whose results were served from
+	// the trial cache. Cached points still count in Executed and Events,
+	// keeping the reported totals identical between a cold and a warm
+	// sweep (a cache hit stands for the exact events it once simulated).
+	CacheHits int
+	Events    uint64
 }
 
 // Passing returns the outcomes that met every SLA, sorted by ascending
@@ -95,6 +106,21 @@ type Explorer struct {
 	Workers int
 	// Objective, when non-nil, scores passing points (lower = better).
 	Objective func(p design.Point, r *RunResult) (float64, error)
+	// Cache, when non-nil, is consulted before simulating a point and
+	// filled afterwards. Keys are CacheKey(scenario, runner); cached
+	// results are SLA-free and the configured SLAs are re-applied on
+	// every hit, so one cache serves queries with different WHERE
+	// thresholds.
+	Cache TrialCache
+	// Gate, when non-nil, bounds simulation concurrency across sweeps
+	// sharing it: a worker holds one slot only while actually simulating
+	// a point (screening decisions and cache hits bypass the gate).
+	Gate Gate
+	// Progress, when non-nil, is called from the commit path after each
+	// point outcome is committed, strictly in point order. done counts
+	// all committed points (including pruned ones); total is the space
+	// size. The callback must not block for long.
+	Progress func(done, total int, out PointOutcome)
 }
 
 // indexedPoint pairs a point outcome with its order index.
@@ -129,6 +155,14 @@ func (s *sharedPruner) recordFailure(p design.Point) {
 
 // Run executes the sweep.
 func (e *Explorer) Run() (*Exploration, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the sweep, stopping early (with ctx.Err) when the
+// context is cancelled. Cancellation is observed at point granularity:
+// in-flight points finish their current trial batch and the partial
+// exploration is discarded.
+func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 	if e.Space == nil || e.Build == nil {
 		return nil, fmt.Errorf("core: explorer needs a space and a build function")
 	}
@@ -165,6 +199,8 @@ func (e *Explorer) Run() (*Exploration, error) {
 				select {
 				case <-stop:
 					return
+				case <-ctx.Done():
+					return
 				default:
 				}
 				p := points[i]
@@ -174,12 +210,14 @@ func (e *Explorer) Run() (*Exploration, error) {
 					// guaranteed to still be dominated at commit time.
 					res = indexedPoint{idx: i, out: PointOutcome{Point: p, Pruned: true}}
 				} else {
-					out, err := e.runPoint(p)
+					out, err := e.runPoint(ctx, p)
 					res = indexedPoint{idx: i, out: out, err: err, ran: true}
 				}
 				select {
 				case results <- res:
 				case <-stop:
+					return
+				case <-ctx.Done():
 					return
 				}
 			}
@@ -203,8 +241,19 @@ func (e *Explorer) Run() (*Exploration, error) {
 		stopped    = false
 		firstErr   error
 	)
+	progress := func(out PointOutcome) {
+		if e.Progress != nil {
+			e.Progress(len(exp.Outcomes), len(points), out)
+		}
+	}
 	for res := range results {
 		if stopped {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			stopped = true
+			close(stop)
 			continue
 		}
 		reorder[res.idx] = res
@@ -224,6 +273,7 @@ func (e *Explorer) Run() (*Exploration, error) {
 			if pruner != nil && pruner.dominated(r.out.Point) {
 				exp.Outcomes = append(exp.Outcomes, PointOutcome{Point: r.out.Point, Pruned: true})
 				exp.Pruned++
+				progress(exp.Outcomes[len(exp.Outcomes)-1])
 				continue
 			}
 			if !r.ran {
@@ -240,25 +290,35 @@ func (e *Explorer) Run() (*Exploration, error) {
 					pruner.recordFailure(r.out.Point)
 				}
 				exp.Outcomes = append(exp.Outcomes, r.out)
+				progress(r.out)
 				continue
 			}
 			exp.Executed++
 			exp.Events += r.out.Result.EventsTotal
+			if r.out.FromCache {
+				exp.CacheHits++
+			}
 			if pruner != nil && !r.out.AllMet {
 				pruner.recordFailure(r.out.Point)
 			}
 			exp.Outcomes = append(exp.Outcomes, r.out)
+			progress(r.out)
 		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return exp, nil
 }
 
 // runPoint builds one scenario, screens it analytically when enabled,
-// and simulates it otherwise.
-func (e *Explorer) runPoint(p design.Point) (PointOutcome, error) {
+// and simulates it otherwise — unless the trial cache already holds the
+// point's result, in which case the cached statistics are reused and
+// only the SLA verdicts are recomputed.
+func (e *Explorer) runPoint(ctx context.Context, p design.Point) (PointOutcome, error) {
 	sc, slas, err := e.Build(p)
 	if err != nil {
 		return PointOutcome{}, fmt.Errorf("core: building point %s: %w", p.Key(), err)
@@ -301,11 +361,41 @@ func (e *Explorer) runPoint(p design.Point) (PointOutcome, error) {
 	}
 	runner := e.Runner
 	runner.SLAs = slas
-	res, err := runner.Run(sc)
-	if err != nil {
+	var (
+		res       *RunResult
+		key       string
+		fromCache bool
+	)
+	if e.Cache != nil {
+		key = CacheKey(sc, runner)
+		if hit, ok := e.Cache.Get(key); ok {
+			// Clone so the SLA verdicts written below never touch the
+			// shared cached copy.
+			res = hit.cloneForSLA()
+			fromCache = true
+		}
+	}
+	if res == nil {
+		if e.Gate != nil {
+			if err := e.Gate.Acquire(ctx); err != nil {
+				return PointOutcome{}, fmt.Errorf("core: running point %s: %w", p.Key(), err)
+			}
+		}
+		res, err = runner.simulate(ctx, sc)
+		if e.Gate != nil {
+			e.Gate.Release()
+		}
+		if err != nil {
+			return PointOutcome{}, fmt.Errorf("core: running point %s: %w", p.Key(), err)
+		}
+		if e.Cache != nil {
+			e.Cache.Put(key, res.cloneForSLA())
+		}
+	}
+	if err := runner.applySLAs(res); err != nil {
 		return PointOutcome{}, fmt.Errorf("core: running point %s: %w", p.Key(), err)
 	}
-	out := PointOutcome{Point: p, Result: res, AllMet: res.AllMet}
+	out := PointOutcome{Point: p, Result: res, AllMet: res.AllMet, FromCache: fromCache}
 	if e.Objective != nil && res.AllMet {
 		obj, err := e.Objective(p, res)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,6 +73,12 @@ type Runner struct {
 	// FailureBias, when > 1, enables failure-biased importance sampling
 	// on the whole-node TTF process. 0 and 1 mean unbiased.
 	FailureBias float64
+	// Progress, when non-nil, is called from the commit path after each
+	// trial is folded into the aggregate, with the number of committed
+	// trials and the planned total. Calls arrive strictly in trial order;
+	// the callback must not block for long (it stalls aggregation, not
+	// simulation) and must not call back into the Runner.
+	Progress func(done, total int)
 }
 
 // varianceReduced reports whether any technique changes the aggregation
@@ -180,6 +187,43 @@ func (a *aggregator) n(i int) int64 {
 
 // Run executes the scenario.
 func (r Runner) Run(sc Scenario) (*RunResult, error) {
+	return r.RunContext(context.Background(), sc)
+}
+
+// RunContext executes the scenario, stopping early (with ctx.Err) when
+// the context is cancelled. Cancellation is observed at trial
+// granularity: in-flight trials run to completion, no new trials start,
+// and the partial aggregate is discarded.
+func (r Runner) RunContext(ctx context.Context, sc Scenario) (*RunResult, error) {
+	res, err := r.simulate(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.applySLAs(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// applySLAs writes the SLA verdicts onto a completed (or cached) result.
+func (r Runner) applySLAs(res *RunResult) error {
+	if len(r.SLAs) > 0 {
+		verdicts, all, err := sla.CheckAll(res, r.SLAs)
+		if err != nil {
+			return err
+		}
+		res.Verdicts = verdicts
+		res.AllMet = all
+		return nil
+	}
+	res.AllMet = true
+	return nil
+}
+
+// simulate runs the trial batch and aggregates metrics; SLA checking is
+// layered on top so the trial cache can store SLA-free results and reuse
+// them across queries with different WHERE thresholds.
+func (r Runner) simulate(ctx context.Context, sc Scenario) (*RunResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,12 +270,16 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 				select {
 				case <-stop:
 					return
+				case <-ctx.Done():
+					return
 				default:
 				}
 				out := r.runTrial(sc, uint64(i))
 				select {
 				case results <- indexedOutcome{idx: i, out: out}:
 				case <-stop:
+					return
+				case <-ctx.Done():
 					return
 				}
 			}
@@ -308,6 +356,11 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 		if stopped {
 			continue // drain workers already in flight
 		}
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			halt()
+			continue
+		}
 		reorder[res.idx] = res.out
 		for !stopped {
 			o, ok := reorder[nextCommit]
@@ -325,6 +378,9 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 			if nextCommit == r.Trials {
 				flushPending()
 			}
+			if r.Progress != nil {
+				r.Progress(nextCommit, r.Trials)
+			}
 			if r.TargetCI > 0 && agg.n(mAvail) >= 2 && agg.ci(mAvail, 0.05) < r.TargetCI {
 				halt()
 			}
@@ -332,6 +388,9 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	flushPending()
 
@@ -367,16 +426,6 @@ func (r Runner) Run(sc Scenario) (*RunResult, error) {
 		// mean weight (should hover near 1 when the bias is well chosen).
 		res.Metrics["is_effective_trials"] = agg.w[mAvail].EffectiveN()
 		res.Metrics["is_weight_mean"] = agg.w[mAvail].SumWeights() / float64(agg.w[mAvail].N())
-	}
-	if len(r.SLAs) > 0 {
-		verdicts, all, err := sla.CheckAll(res, r.SLAs)
-		if err != nil {
-			return nil, err
-		}
-		res.Verdicts = verdicts
-		res.AllMet = all
-	} else {
-		res.AllMet = true
 	}
 	return res, nil
 }

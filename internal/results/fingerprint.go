@@ -1,0 +1,40 @@
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint returns a stable content address for a normalized key/value
+// description of a configuration. The encoding is canonical: entries are
+// sorted by key and each key and value is length-prefixed before hashing,
+// so the fingerprint is independent of map insertion order and immune to
+// concatenation ambiguity ("ab"+"c" vs "a"+"bc"). Two maps produce the
+// same fingerprint iff they hold exactly the same key/value pairs.
+//
+// The trial cache (internal/service) keys completed trial statistics by
+// Fingerprint of the full (scenario, engine-knob) tuple, so the encoding
+// must never change silently: any change invalidates every persisted
+// cache entry. The hash is SHA-256, making cross-config collisions a
+// non-concern at any realistic archive size.
+func Fingerprint(kv map[string]string) string {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var lenBuf [8]byte
+	writeField := func(s string) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	for _, k := range keys {
+		writeField(k)
+		writeField(kv[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Record is one stored simulation run.
@@ -53,7 +54,14 @@ func parseConfig(config map[string]string) []parsedKV {
 // Store is an in-memory run archive with JSON persistence. Records are
 // indexed by id for O(1) lookup, and their configurations are pre-parsed
 // for fast similarity search at production record counts.
+//
+// A Store is safe for concurrent use: the serving layer shares one
+// archive between every in-flight query job, so writers (Add) and
+// readers (Get/All/Filter/NearestK/Save) synchronize on an RWMutex —
+// similarity searches from many sessions proceed in parallel and only
+// archiving a finished run takes the write lock.
 type Store struct {
+	mu      sync.RWMutex
 	records []Record
 	parsed  [][]parsedKV // parallel to records
 	byID    map[int]int  // id -> records index
@@ -68,6 +76,8 @@ func (s *Store) Add(r Record) (int, error) {
 	if r.Scenario == "" {
 		return 0, fmt.Errorf("results: record needs a scenario name")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r.ID = s.nextID
 	s.nextID++
 	if s.byID == nil {
@@ -80,10 +90,16 @@ func (s *Store) Add(r Record) (int, error) {
 }
 
 // Len returns the number of records.
-func (s *Store) Len() int { return len(s.records) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
 
 // Get returns record id in O(1) via the id index.
 func (s *Store) Get(id int) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if i, ok := s.byID[id]; ok {
 		return s.records[i], nil
 	}
@@ -92,6 +108,8 @@ func (s *Store) Get(id int) (Record, error) {
 
 // All returns a copy of all records.
 func (s *Store) All() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Record, len(s.records))
 	copy(out, s.records)
 	return out
@@ -99,6 +117,8 @@ func (s *Store) All() []Record {
 
 // Filter returns records whose config matches every key/value in match.
 func (s *Store) Filter(match map[string]string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Record
 	for _, r := range s.records {
 		ok := true
@@ -117,7 +137,9 @@ func (s *Store) Filter(match map[string]string) []Record {
 
 // Save writes the store to path as JSON.
 func (s *Store) Save(path string) error {
+	s.mu.RLock()
 	data, err := json.MarshalIndent(s.records, "", "  ")
+	s.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("results: marshal: %w", err)
 	}
@@ -173,6 +195,8 @@ func (s *Store) NearestK(config map[string]string, k int) []Neighbor {
 		return nil
 	}
 	query := parseConfig(config)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 
 	type cand struct {
 		dist float64

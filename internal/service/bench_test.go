@@ -1,0 +1,75 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/wtql"
+)
+
+// benchQuery is a 3-point sweep; after the first iteration every point
+// is a trial-cache hit, so steady-state iterations measure the serving
+// path (HTTP + NDJSON + job bookkeeping + cache lookups), not the
+// simulator.
+const benchQuery = `SIMULATE availability
+VARY cluster.nodes IN (5, 6, 7)
+WITH users = 20, object_mb = 10, trials = 2, horizon_hours = 200
+WHERE sla.availability >= 0.2`
+
+// BenchmarkServiceQueryThroughput measures end-to-end queries/second of
+// the daemon with a warm trial cache.
+func BenchmarkServiceQueryThroughput(b *testing.B) {
+	_, ts := newTestServer(b, Config{PoolSize: 4})
+	body := mustJSON(b, QueryRequest{Query: benchQuery})
+
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var last []byte
+		for sc.Scan() {
+			last = append(last[:0], sc.Bytes()...)
+		}
+		resp.Body.Close()
+		var final map[string]any
+		if err := json.Unmarshal(last, &final); err != nil || final["type"] != "result" {
+			b.Fatalf("stream ended with %s (%v)", last, err)
+		}
+	}
+
+	post() // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+// BenchmarkTrialCacheHit measures a full WTQL sweep served entirely from
+// the memory tier of the trial cache — the cost of a 100%-hit repeat
+// query without HTTP in the way.
+func BenchmarkTrialCacheHit(b *testing.B) {
+	cache, err := NewCache(64, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func() *wtql.Engine { return &wtql.Engine{Trials: 2, Cache: cache} }
+	if _, err := mk().Execute(benchQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := mk().Execute(benchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.CacheHits != rs.Executed {
+			b.Fatalf("iteration missed the cache: %d/%d", rs.CacheHits, rs.Executed)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache is the content-addressed trial cache: completed (SLA-free) trial
+// statistics keyed by core.CacheKey fingerprints. It has two tiers:
+//
+//   - an LRU memory tier bounded at maxEntries results, and
+//   - an optional disk tier (one JSON file per key under dir) written on
+//     every Put, so results survive daemon restarts; a memory miss falls
+//     through to disk and promotes the entry back into memory.
+//
+// Determinism contract: a Get hit returns exactly the statistics a fresh
+// run of the same key would produce — runs are deterministic functions
+// of the key, the stored result is immutable, and the disk tier's JSON
+// float encoding round-trips float64 exactly — so a served sweep is
+// byte-identical whether it was simulated or remembered.
+//
+// The memory bound is on entry count, not bytes: one entry holds the
+// aggregate metric maps plus the pooled per-tenant availabilities, so
+// size scales with (users x trials) of the cached run. The disk tier is
+// unbounded and append-only; evicting from memory never deletes the
+// disk copy.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	dir        string // "" = memory-only
+
+	hits, diskHits, misses, puts, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *core.RunResult
+}
+
+// DefaultCacheEntries bounds the memory tier when no capacity is given.
+const DefaultCacheEntries = 512
+
+// NewCache returns a cache holding at most maxEntries results in memory
+// (<= 0 means DefaultCacheEntries), persisting to dir when non-empty.
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		dir:        dir,
+	}, nil
+}
+
+// Get implements core.TrialCache.
+func (c *Cache) Get(key string) (*core.RunResult, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if res, ok := c.readDisk(key); ok {
+			c.mu.Lock()
+			c.hits++
+			c.diskHits++
+			// Re-check under the re-acquired lock: a concurrent Get for
+			// the same key may have promoted it already, and inserting a
+			// second element for one key would orphan the first in the
+			// LRU list and later evict the live map entry.
+			if el, dup := c.items[key]; dup {
+				c.ll.MoveToFront(el)
+				res = el.Value.(*cacheEntry).res
+			} else {
+				c.insert(key, res)
+			}
+			c.mu.Unlock()
+			return res, true
+		}
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put implements core.TrialCache. The result must be treated as
+// immutable from this point on.
+func (c *Cache) Put(key string, r *core.RunResult) {
+	c.mu.Lock()
+	c.puts++
+	if el, ok := c.items[key]; ok {
+		// Same key means same content; just refresh recency.
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.insert(key, r)
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		c.writeDisk(key, r)
+	}
+}
+
+// insert adds an entry and evicts the LRU tail past capacity. Caller
+// holds c.mu.
+func (c *Cache) insert(key string, r *core.RunResult) {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: r})
+	for c.ll.Len() > c.maxEntries {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats is a point-in-time cache counter snapshot.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns hits / lookups, or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.maxEntries,
+		Hits:      c.hits,
+		DiskHits:  c.diskHits,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evictions,
+	}
+}
+
+// diskRecord is the persisted form of a cached result. Cached results
+// are SLA-free by construction (verdicts are recomputed on every hit),
+// so only the aggregate statistics are stored. encoding/json encodes
+// float64 with the shortest representation that parses back exactly, so
+// the disk round trip preserves every bit.
+type diskRecord struct {
+	Scenario           string             `json:"scenario"`
+	Trials             int                `json:"trials"`
+	Metrics            map[string]float64 `json:"metrics"`
+	CI                 map[string]float64 `json:"ci"`
+	TenantAvailability []float64          `json:"tenant_availability,omitempty"`
+	EventsTotal        uint64             `json:"events_total"`
+	AbortedTrials      int                `json:"aborted_trials,omitempty"`
+}
+
+func (c *Cache) path(key string) string {
+	// Keys are hex SHA-256 fingerprints: filesystem-safe by construction.
+	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *Cache) readDisk(key string) (*core.RunResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var rec diskRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false // corrupt entry: treat as a miss
+	}
+	return &core.RunResult{
+		Scenario:           rec.Scenario,
+		Trials:             rec.Trials,
+		Metrics:            rec.Metrics,
+		CI:                 rec.CI,
+		TenantAvailability: rec.TenantAvailability,
+		EventsTotal:        rec.EventsTotal,
+		AbortedTrials:      rec.AbortedTrials,
+	}, true
+}
+
+func (c *Cache) writeDisk(key string, r *core.RunResult) {
+	rec := diskRecord{
+		Scenario:           r.Scenario,
+		Trials:             r.Trials,
+		Metrics:            r.Metrics,
+		CI:                 r.CI,
+		TenantAvailability: r.TenantAvailability,
+		EventsTotal:        r.EventsTotal,
+		AbortedTrials:      r.AbortedTrials,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return // non-finite metric: keep the memory tier only
+	}
+	// Write-then-rename so concurrent readers never see a torn file.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}

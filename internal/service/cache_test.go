@@ -1,0 +1,216 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wtql"
+)
+
+func dummyResult(name string, avail float64) *core.RunResult {
+	return &core.RunResult{
+		Scenario: name,
+		Trials:   4,
+		Metrics:  map[string]float64{"availability": avail, "events": 123},
+		CI:       map[string]float64{"availability": 0.001},
+		TenantAvailability: []float64{
+			avail, avail - 0.001, avail + 0.0005,
+		},
+		EventsTotal: 4321,
+	}
+}
+
+func TestCacheLRUEvictionBounds(t *testing.T) {
+	c, err := NewCache(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), dummyResult("s", float64(i)))
+	}
+	st := c.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("cache holds %d entries, want 4", st.Entries)
+	}
+	if st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", st.Evictions)
+	}
+	// The four most recent survive; the rest are gone.
+	for i := 0; i < 6; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
+			t.Fatalf("key-%d should have been evicted", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("key-%d should be cached", i)
+		}
+	}
+}
+
+func TestCacheLRURecencyOrder(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", dummyResult("a", 1))
+	c.Put("b", dummyResult("b", 2))
+	c.Get("a")                      // refresh a
+	c.Put("c", dummyResult("c", 3)) // must evict b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+}
+
+// TestCacheDiskTierSurvivesRestart persists through one cache, then
+// reads bit-identical results through a fresh cache on the same dir —
+// the restart scenario.
+func TestCacheDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab12", 16) // 64 hex chars like a real fingerprint
+	want := dummyResult("persisted", 0.99912345678901234)
+	c1.Put(key, want)
+
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("restarted cache missed a persisted entry")
+	}
+	if got.Scenario != want.Scenario || got.Trials != want.Trials ||
+		got.EventsTotal != want.EventsTotal {
+		t.Fatalf("disk round trip changed scalars: %+v vs %+v", got, want)
+	}
+	for k, v := range want.Metrics {
+		if got.Metrics[k] != v {
+			t.Fatalf("metric %s: %v != %v (float not bit-exact through JSON)", k, got.Metrics[k], v)
+		}
+	}
+	for i, v := range want.TenantAvailability {
+		if got.TenantAvailability[i] != v {
+			t.Fatalf("tenant availability %d not bit-exact", i)
+		}
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1", st.DiskHits)
+	}
+	// The promoted entry now serves from memory.
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("promoted entry missing from memory tier")
+	}
+	if st2 := c2.Stats(); st2.DiskHits != 1 || st2.Hits != 2 {
+		t.Fatalf("promotion stats wrong: %+v", st2)
+	}
+}
+
+// TestCacheConcurrentDiskPromotion hammers one disk-tier key from many
+// goroutines after a "restart": the promotion path must not insert
+// duplicate LRU elements for the key (which would desync the list from
+// the map and later evict the live entry).
+func TestCacheConcurrentDiskPromotion(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ef56", 16)
+	c1.Put(key, dummyResult("hot", 0.9))
+
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := c2.Get(key); !ok {
+				t.Error("disk-tier entry missed")
+			}
+		}()
+	}
+	wg.Wait()
+	st := c2.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("one key promoted into %d entries", st.Entries)
+	}
+	// Fill to capacity: the promoted key must survive exactly as one
+	// entry and the map/list must stay in sync through evictions.
+	for i := 0; i < 7; i++ {
+		c2.Put(fmt.Sprintf("fill-%d", i), dummyResult("f", 0.5))
+	}
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("promoted key lost after fills below capacity")
+	}
+	if st := c2.Stats(); st.Entries != 8 || st.Evictions != 0 {
+		t.Fatalf("map/list desync: %+v", st)
+	}
+}
+
+func TestCacheCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("cd34", 16)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt disk entry served as a hit")
+	}
+}
+
+// TestEngineDiskCacheRestartGolden is the end-to-end restart check: a
+// sweep served entirely from a previous process's disk tier renders
+// byte-identical output to the cold run that populated it.
+func TestEngineDiskCacheRestartGolden(t *testing.T) {
+	dir := t.TempDir()
+	query := `SIMULATE availability
+VARY cluster.nodes IN (5, 7)
+WITH users = 20, object_mb = 10, trials = 2, horizon_hours = 200
+WHERE sla.availability >= 0.2`
+
+	run := func() (*wtql.ResultSet, *Cache) {
+		cache, err := NewCache(8, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &wtql.Engine{Trials: 2, Cache: cache}
+		rs, err := eng.Execute(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs, cache
+	}
+
+	cold, _ := run()
+	warm, cache := run()
+	if cold.Render() != warm.Render() {
+		t.Fatalf("restart-warm render differs:\n--- cold ---\n%s--- warm ---\n%s",
+			cold.Render(), warm.Render())
+	}
+	if warm.CacheHits != warm.Executed {
+		t.Fatalf("warm run hit %d/%d points across restart", warm.CacheHits, warm.Executed)
+	}
+	if st := cache.Stats(); st.DiskHits != uint64(warm.Executed) {
+		t.Fatalf("expected all %d hits from disk, stats %+v", warm.Executed, st)
+	}
+}

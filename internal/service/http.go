@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/wtql"
+)
+
+// QueryRequest is the POST /v1/query body (application/json). A
+// text/plain body is accepted too and treated as the bare query text.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// Trials overrides the server's default per-configuration trial
+	// count (a WITH trials = n clause in the query still wins).
+	Trials int `json:"trials,omitempty"`
+}
+
+// Stream event types, one JSON object per NDJSON line:
+//
+//	{"type":"job", ...JobEvent}     first line: the job was admitted
+//	{"type":"point", ...PointEvent} one per committed design point
+//	{"type":"result", ...ResultEvent} last line on success
+//	{"type":"error","error":"..."}  last line on failure
+type JobEvent struct {
+	Type string `json:"type"`
+	ID   string `json:"id"`
+}
+
+// PointEvent reports one committed design point.
+type PointEvent struct {
+	Type     string             `json:"type"`
+	Done     int                `json:"done"`
+	Total    int                `json:"total"`
+	Config   map[string]string  `json:"config"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Pruned   bool               `json:"pruned,omitempty"`
+	Screened bool               `json:"screened,omitempty"`
+	Cached   bool               `json:"cached,omitempty"`
+	AllMet   bool               `json:"all_met"`
+}
+
+// ResultEvent carries the final result set. Table is the same aligned
+// text table the CLI renders, so a client can print byte-identical
+// output to a local run.
+type ResultEvent struct {
+	Type      string            `json:"type"`
+	ID        string            `json:"id"`
+	Columns   []string          `json:"columns"`
+	Rows      []wtql.Row        `json:"rows"`
+	Executed  int               `json:"executed"`
+	Pruned    int               `json:"pruned"`
+	Screened  int               `json:"screened"`
+	CacheHits int               `json:"cache_hits"`
+	Settings  map[string]string `json:"settings,omitempty"`
+	Table     string            `json:"table"`
+}
+
+// ErrorEvent terminates a stream on failure.
+type ErrorEvent struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQueryRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorEvent{Type: "error", Error: err.Error()})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	id, jctx, err := s.newJob(r.Context(), req.Query)
+	if err != nil {
+		// Draining: refuse before anything streams.
+		writeJSON(w, http.StatusServiceUnavailable, ErrorEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(JobEvent{Type: "job", ID: id})
+
+	// The stream writes below all happen on this handler goroutine: the
+	// engine's Progress callback is invoked from the sweep's commit path,
+	// which runs inside ExecuteContext.
+	rs, err := s.execute(jctx, id, req.Query, req.Trials,
+		func(done, total int, out core.PointOutcome) {
+			emit(pointEvent(done, total, out))
+		})
+	if err != nil {
+		emit(ErrorEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(ResultEvent{
+		Type: "result", ID: id,
+		Columns:  rs.Columns,
+		Rows:     rowsOrEmpty(rs.Rows),
+		Executed: rs.Executed, Pruned: rs.Pruned, Screened: rs.Screened,
+		CacheHits: rs.CacheHits,
+		Settings:  rs.Settings,
+		Table:     rs.Render(),
+	})
+}
+
+func pointEvent(done, total int, out core.PointOutcome) PointEvent {
+	ev := PointEvent{
+		Type: "point", Done: done, Total: total,
+		Config:   map[string]string{},
+		Pruned:   out.Pruned,
+		Screened: out.Screened,
+		Cached:   out.FromCache,
+		AllMet:   out.AllMet,
+	}
+	for name, v := range out.Point.Assignments() {
+		ev.Config[name] = design.FormatValue(v)
+	}
+	if out.Result != nil {
+		ev.Metrics = out.Result.Metrics
+	}
+	return ev
+}
+
+func rowsOrEmpty(rows []wtql.Row) []wtql.Row {
+	if rows == nil {
+		return []wtql.Row{}
+	}
+	return rows
+}
+
+func decodeQueryRequest(r *http.Request) (QueryRequest, error) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return QueryRequest{}, fmt.Errorf("service: reading request: %w", err)
+	}
+	var req QueryRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return QueryRequest{}, fmt.Errorf("service: bad request JSON: %w", err)
+		}
+	} else {
+		req.Query = string(body)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return QueryRequest{}, fmt.Errorf("service: empty query")
+	}
+	return req, nil
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		HitRate float64 `json:"hit_rate"`
+		PoolCap int     `json:"pool_capacity"`
+		PoolUse int     `json:"pool_in_use"`
+	}{st, st.HitRate(), s.pool.Cap(), s.pool.InUse()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,44 @@
+package service
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is the daemon's shared simulation worker budget: a counting
+// semaphore implementing core.Gate. Every job's Explorer acquires one
+// slot per design point actually simulated (cache hits and analytic
+// screening bypass it), so however many WTQL queries are in flight, at
+// most Cap design points simulate concurrently — the "bounded worker
+// pool" the serving layer promises.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool with n slots (n <= 0 means GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Cap returns the slot count.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// InUse returns the number of currently-held slots (approximate under
+// concurrency; for monitoring only).
+func (p *Pool) InUse() int { return len(p.sem) }

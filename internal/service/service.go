@@ -1,0 +1,308 @@
+// Package service is the wind tunnel's serving layer: windtunneld. The
+// paper pitches the tunnel as a tool designers query repeatedly —
+// iterating over designs, SLAs and what-if scenarios — so instead of
+// cold one-shot CLI runs, this package keeps a long-running process that
+//
+//   - accepts WTQL queries over HTTP (POST /v1/query) and streams
+//     per-design-point progress and results back as NDJSON,
+//   - schedules every query as a job on one shared bounded worker pool
+//     (Pool), so concurrent sweeps share a single simulation budget,
+//   - answers job listing and cancellation (GET /v1/jobs,
+//     DELETE /v1/jobs/{id}), and
+//   - reuses completed trial statistics across queries and sessions via
+//     the content-addressed trial cache (Cache): any (design point,
+//     scenario distributions, seed, trials, engine knobs) tuple already
+//     simulated — by any job, ever — is served from memory or disk,
+//     byte-identical to a fresh run.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/results"
+	"repro/internal/wtql"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobInfo is the externally-visible snapshot of one query job.
+type JobInfo struct {
+	ID       string    `json:"id"`
+	Query    string    `json:"query"`
+	State    JobState  `json:"state"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Done/Total track committed design points of the sweep.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// CacheHits counts points served from the trial cache so far.
+	CacheHits int    `json:"cache_hits"`
+	Error     string `json:"error,omitempty"`
+}
+
+// job is the internal job record.
+type job struct {
+	info   JobInfo
+	cancel context.CancelFunc
+}
+
+// Config configures a Server.
+type Config struct {
+	// Trials is the default per-configuration trial count (a query's
+	// WITH trials = n overrides it). <= 0 means 5, matching the CLI.
+	Trials int
+	// PoolSize bounds concurrently-simulating design points across all
+	// jobs (<= 0 = GOMAXPROCS).
+	PoolSize int
+	// CacheEntries bounds the trial cache's memory tier
+	// (<= 0 = DefaultCacheEntries).
+	CacheEntries int
+	// CacheDir, when non-empty, enables the cache's disk tier.
+	CacheDir string
+	// Store, when non-nil, archives every executed configuration
+	// (shared across jobs; results.Store is concurrency-safe).
+	Store *results.Store
+}
+
+// Server owns the shared pool, the trial cache and the job registry. Its
+// HTTP interface is exposed via Handler.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+	store *results.Store
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order, for stable listings
+	nextID   int
+	draining bool
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 5
+	}
+	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.PoolSize),
+		cache: cache,
+		store: cfg.Store,
+		jobs:  make(map[string]*job),
+	}, nil
+}
+
+// Cache exposes the trial cache (for stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Pool exposes the shared worker pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// BeginDrain stops admission: subsequent queries are rejected with 503
+// while already-running jobs stream to completion (http.Server.Shutdown
+// provides the actual wait).
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// CancelAll force-cancels every running job (used when the drain window
+// expires).
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.info.State == JobRunning {
+			j.cancel()
+		}
+	}
+}
+
+// maxRetainedJobs bounds the job registry: finished jobs beyond this
+// count are evicted oldest-first, so a long-running daemon's memory
+// does not grow with total queries served. Running jobs are never
+// evicted.
+const maxRetainedJobs = 1024
+
+// newJob registers a running job and returns its id plus a context the
+// sweep must run under.
+func (s *Server) newJob(parent context.Context, query string) (string, context.Context, error) {
+	ctx, cancel := context.WithCancel(parent)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		cancel()
+		return "", nil, fmt.Errorf("service: draining, not accepting new queries")
+	}
+	s.nextID++
+	id := "job-" + strconv.Itoa(s.nextID)
+	s.jobs[id] = &job{
+		info: JobInfo{
+			ID: id, Query: query, State: JobRunning, Created: time.Now(),
+		},
+		cancel: cancel,
+	}
+	s.order = append(s.order, id)
+	s.evictFinishedLocked()
+	return id, ctx, nil
+}
+
+// evictFinishedLocked trims the registry to maxRetainedJobs by dropping
+// the oldest finished jobs. Caller holds s.mu.
+func (s *Server) evictFinishedLocked() {
+	for len(s.order) > maxRetainedJobs {
+		evicted := false
+		for i, id := range s.order {
+			if s.jobs[id].info.State != JobRunning {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still running
+		}
+	}
+}
+
+// progress updates a job's per-point counters.
+func (s *Server) progress(id string, done, total int, fromCache bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.info.Done, j.info.Total = done, total
+		if fromCache {
+			j.info.CacheHits++
+		}
+	}
+}
+
+// finish records a job's terminal state.
+func (s *Server) finish(id string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.cancel() // release the context either way
+	j.info.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.info.State = JobDone
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.info.State = JobCancelled
+		j.info.Error = err.Error()
+	default:
+		j.info.State = JobFailed
+		j.info.Error = err.Error()
+	}
+}
+
+// Cancel cancels a running job. It reports whether the id was known.
+func (s *Server) Cancel(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	if j.info.State == JobRunning {
+		j.cancel()
+	}
+	return j.info, true
+}
+
+// Job returns a job snapshot.
+func (s *Server) Job(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info, true
+}
+
+// Jobs returns all job snapshots, newest first.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].info)
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
+	return out
+}
+
+// engine builds a fresh WTQL engine wired to the shared pool, cache and
+// archive. Each query gets its own engine (SET statements are
+// per-request), but all engines share the server-wide resources.
+func (s *Server) engine(progress func(done, total int, out core.PointOutcome)) *wtql.Engine {
+	return &wtql.Engine{
+		Trials: s.cfg.Trials,
+		// One gate slot ~ one simulating design point: within a point,
+		// trials run sequentially so the pool is the only parallelism
+		// knob and the daemon never oversubscribes the host.
+		TrialWorkers: 1,
+		Workers:      s.pool.Cap(),
+		Store:        s.store,
+		Cache:        s.cache,
+		Gate:         s.pool,
+		Progress:     progress,
+	}
+}
+
+// execute runs an admitted job's query to completion and records its
+// terminal state.
+func (s *Server) execute(ctx context.Context, id, query string, trials int,
+	onPoint func(done, total int, out core.PointOutcome)) (*wtql.ResultSet, error) {
+	eng := s.engine(func(done, total int, out core.PointOutcome) {
+		s.progress(id, done, total, out.FromCache)
+		if onPoint != nil {
+			onPoint(done, total, out)
+		}
+	})
+	if trials > 0 {
+		eng.Trials = trials
+	}
+	rs, err := eng.ExecuteContext(ctx, query)
+	s.finish(id, err)
+	return rs, err
+}
+
+// RunQuery executes one WTQL query as a registered job, invoking onPoint
+// (when non-nil) per committed design point. It is the transport-neutral
+// core of the HTTP handler and the unit tests' entry point.
+func (s *Server) RunQuery(ctx context.Context, query string, trials int,
+	onPoint func(done, total int, out core.PointOutcome)) (string, *wtql.ResultSet, error) {
+	id, jctx, err := s.newJob(ctx, query)
+	if err != nil {
+		return "", nil, err
+	}
+	rs, err := s.execute(jctx, id, query, trials, onPoint)
+	return id, rs, err
+}

@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/results"
+)
+
+// smallQuery is a fast 4-point sweep used across the tests.
+const smallQuery = `SIMULATE availability
+VARY cluster.nodes IN (5, 6, 7, 8)
+WITH users = 20, object_mb = 10, trials = 2, horizon_hours = 200
+WHERE sla.availability >= 0.2`
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postQuery posts a query and decodes the NDJSON stream.
+func postQuery(t testing.TB, ts *httptest.Server, query string) (events []map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		bytes.NewReader(mustJSON(t, QueryRequest{Query: query})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func lastEvent(t testing.TB, events []map[string]any) map[string]any {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	return events[len(events)-1]
+}
+
+// TestQueryStreamShape checks the NDJSON protocol: a job event, one point
+// event per design point, then a result event carrying the rendered
+// table.
+func TestQueryStreamShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2})
+	events := postQuery(t, ts, smallQuery)
+
+	if events[0]["type"] != "job" || events[0]["id"] == "" {
+		t.Fatalf("first event should be the job admission, got %v", events[0])
+	}
+	points := 0
+	for _, ev := range events {
+		if ev["type"] == "point" {
+			points++
+			if ev["total"].(float64) != 4 {
+				t.Fatalf("point event total = %v, want 4", ev["total"])
+			}
+		}
+	}
+	if points != 4 {
+		t.Fatalf("streamed %d point events, want 4", points)
+	}
+	final := lastEvent(t, events)
+	if final["type"] != "result" {
+		t.Fatalf("last event should be the result, got %v", final)
+	}
+	if table, _ := final["table"].(string); !strings.Contains(table, "availability") {
+		t.Fatalf("result table missing availability column:\n%s", table)
+	}
+}
+
+// TestRepeatedSweepCacheHitGolden is the acceptance check: a repeated
+// sweep must hit the trial cache on >= 90% of its points (here: all of
+// them) and render byte-identical output to the cold run.
+func TestRepeatedSweepCacheHitGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2})
+
+	cold := lastEvent(t, postQuery(t, ts, smallQuery))
+	warm := lastEvent(t, postQuery(t, ts, smallQuery))
+
+	coldTable, _ := cold["table"].(string)
+	warmTable, _ := warm["table"].(string)
+	if coldTable == "" || coldTable != warmTable {
+		t.Fatalf("warm table differs from cold:\n--- cold ---\n%s--- warm ---\n%s", coldTable, warmTable)
+	}
+	if cold["cache_hits"].(float64) != 0 {
+		t.Fatalf("cold run reported cache hits: %v", cold["cache_hits"])
+	}
+	executed := warm["executed"].(float64)
+	hits := warm["cache_hits"].(float64)
+	if executed == 0 || hits < 0.9*executed {
+		t.Fatalf("warm run hit %v of %v executed points, want >= 90%%", hits, executed)
+	}
+}
+
+// TestEightConcurrentJobs serves 8 concurrent sweep jobs on a 4-slot
+// shared pool — the acceptance criterion's concurrency shape.
+func TestEightConcurrentJobs(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 4, Store: results.NewStore()})
+
+	const jobs = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds so the jobs cannot ride each other's cache
+			// entries: all 8 must actually simulate on the shared pool.
+			q := fmt.Sprintf(`SIMULATE availability
+VARY cluster.nodes IN (5, 6, 7)
+WITH users = 20, object_mb = 10, trials = 2, horizon_hours = 200, seed = %d
+WHERE sla.availability >= 0.2`, i+1)
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				bytes.NewReader(mustJSON(t, QueryRequest{Query: q})))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+			var final map[string]any
+			if err := json.Unmarshal(lines[len(lines)-1], &final); err != nil {
+				errs <- fmt.Errorf("job %d: bad final line: %v", i, err)
+				return
+			}
+			if final["type"] != "result" {
+				errs <- fmt.Errorf("job %d ended with %v", i, final)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := 0
+	for _, j := range srv.Jobs() {
+		if j.State == JobDone {
+			done++
+		}
+	}
+	if done != jobs {
+		t.Fatalf("%d jobs done, want %d: %+v", done, jobs, srv.Jobs())
+	}
+	if got := srv.Cache().Stats().Puts; got < jobs*3 {
+		t.Fatalf("cache recorded %d puts, want >= %d (distinct seeds must all simulate)", got, jobs*3)
+	}
+}
+
+// TestCancelJob cancels a long-running job via DELETE /v1/jobs/{id} and
+// checks the stream terminates with an error event and the job records
+// the cancelled state.
+func TestCancelJob(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 1})
+
+	longQuery := `SIMULATE availability
+VARY cluster.nodes IN (10, 12, 14, 16, 18, 20, 22, 24)
+WITH users = 500, trials = 200, horizon_hours = 8766
+WHERE sla.availability >= 0.2`
+	req, err := http.NewRequest("POST", ts.URL+"/v1/query",
+		bytes.NewReader(mustJSON(t, QueryRequest{Query: longQuery})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("no job event")
+	}
+	var jobEv map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &jobEv); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := jobEv["id"].(string)
+	if id == "" {
+		t.Fatalf("job event without id: %v", jobEv)
+	}
+
+	// Cancel from a second connection while the sweep runs.
+	del, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE returned %d", dresp.StatusCode)
+	}
+
+	sawError := false
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["type"] == "error" {
+			sawError = true
+		}
+		if ev["type"] == "result" {
+			t.Fatal("cancelled job still streamed a result")
+		}
+	}
+	if !sawError {
+		t.Fatal("cancelled job's stream did not end with an error event")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, ok := srv.Job(id)
+		if ok && info.State == JobCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached cancelled state: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDrainRejectsNewWork checks graceful drain: an in-flight job
+// completes, new queries are refused with 503.
+func TestDrainRejectsNewWork(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 2})
+
+	started := make(chan struct{})
+	finished := make(chan []map[string]any, 1)
+	go func() {
+		close(started)
+		finished <- postQuery(t, ts, smallQuery)
+	}()
+	<-started
+	srv.BeginDrain()
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		bytes.NewReader(mustJSON(t, QueryRequest{Query: smallQuery})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain returned %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case events := <-finished:
+		// The in-flight job may have been admitted before or after the
+		// drain began; either a full result or a clean refusal is a
+		// correct drain outcome — what must never happen is a hang or a
+		// torn stream, which the NDJSON decode above already verifies.
+		final := lastEvent(t, events)
+		if final["type"] != "result" && final["type"] != "error" {
+			t.Fatalf("in-flight job ended with %v", final)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight job did not finish during drain")
+	}
+}
+
+// TestParseErrorsSurfaceLineColumn checks that server clients get
+// actionable line:column positions back as JSON.
+func TestParseErrorsSurfaceLineColumn(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+	events := postQuery(t, ts, "SIMULATE availability\nVARY cluster.nodes (5)")
+	final := lastEvent(t, events)
+	if final["type"] != "error" {
+		t.Fatalf("want error event, got %v", final)
+	}
+	msg, _ := final["error"].(string)
+	if !strings.Contains(msg, "2:20") {
+		t.Fatalf("parse error %q lacks line:column position", msg)
+	}
+}
+
+// TestJobListingAndLookup covers GET /v1/jobs and GET /v1/jobs/{id}.
+func TestJobListingAndLookup(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2})
+	postQuery(t, ts, smallQuery)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != JobDone || jobs[0].Done != 4 {
+		t.Fatalf("job listing = %+v", jobs)
+	}
+
+	one, err := http.Get(ts.URL + "/v1/jobs/" + jobs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Body.Close()
+	var info JobInfo
+	if err := json.NewDecoder(one.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != jobs[0].ID || info.CacheHits != 0 {
+		t.Fatalf("job lookup = %+v", info)
+	}
+
+	missing, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, missing.Body)
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job returned %d", missing.StatusCode)
+	}
+}
+
+// TestJobRegistryBounded checks the retention cap: a long-running
+// daemon must not accumulate finished jobs without bound, while running
+// jobs are never evicted.
+func TestJobRegistryBounded(t *testing.T) {
+	srv, err := New(Config{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One long-lived "running" job that must survive every eviction.
+	runningID, _, err := srv.newJob(context.Background(), "running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxRetainedJobs+200; i++ {
+		id, _, err := srv.newJob(context.Background(), "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.finish(id, nil)
+	}
+	if n := len(srv.Jobs()); n > maxRetainedJobs {
+		t.Fatalf("registry holds %d jobs, cap is %d", n, maxRetainedJobs)
+	}
+	if info, ok := srv.Job(runningID); !ok || info.State != JobRunning {
+		t.Fatalf("running job was evicted: %+v ok=%v", info, ok)
+	}
+}
+
+// TestPoolBounds checks the gate semantics directly.
+func TestPoolBounds(t *testing.T) {
+	p := NewPool(2)
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	timeout, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := p.Acquire(timeout); err == nil {
+		t.Fatal("third acquire should block until a slot frees")
+	}
+	p.Release()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	p.Release()
+	p.Release()
+}

@@ -1,6 +1,7 @@
 package wtql
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -234,15 +235,16 @@ func toFloat(v any) (float64, bool) {
 	return 0, false
 }
 
-// Row is one configuration's outcome.
+// Row is one configuration's outcome. The JSON field names are part of
+// the windtunneld wire format.
 type Row struct {
-	Config  map[string]string
-	Metrics map[string]float64
-	Passed  bool
-	Pruned  bool
+	Config  map[string]string  `json:"config"`
+	Metrics map[string]float64 `json:"metrics"`
+	Passed  bool               `json:"passed"`
+	Pruned  bool               `json:"pruned,omitempty"`
 	// Screened marks a row decided by the analytic screening pass — its
 	// metrics are closed-form estimates, not simulation output.
-	Screened bool
+	Screened bool `json:"screened,omitempty"`
 }
 
 // ResultSet is a query's output.
@@ -253,6 +255,10 @@ type ResultSet struct {
 	Executed int
 	Pruned   int
 	Screened int
+	// CacheHits counts executed configurations served from the trial
+	// cache. It is diagnostic only and deliberately absent from Render,
+	// so a warm sweep's output is byte-identical to a cold one.
+	CacheHits int
 	// Settings holds the session settings applied by a SET statement.
 	Settings map[string]string
 }
@@ -268,6 +274,11 @@ type Engine struct {
 	// Workers bounds point-level parallelism when no MONOTONE dimension
 	// requests pruning.
 	Workers int
+	// TrialWorkers bounds trial-level parallelism inside each design
+	// point (0 = GOMAXPROCS). The serving layer sets 1 so its shared
+	// point-level pool is the only parallelism knob; results are
+	// Workers-independent either way.
+	TrialWorkers int
 	// Store, when non-nil, archives every executed configuration (§4.4:
 	// simulation output data is kept for later exploration and
 	// similar-configuration queries).
@@ -291,6 +302,18 @@ type Engine struct {
 	// FailureBias > 1 enables failure-biased importance sampling (`SET
 	// runner.failure_bias = b`).
 	FailureBias float64
+	// Cache, when non-nil, memoizes completed trial statistics by
+	// content address so overlapping sweeps — across queries and, with a
+	// disk-backed cache, across sessions — reuse results instead of
+	// re-simulating. Injected by the serving layer (internal/service).
+	Cache core.TrialCache
+	// Gate, when non-nil, bounds simulation concurrency across engines
+	// sharing it — the daemon's shared worker pool.
+	Gate core.Gate
+	// Progress, when non-nil, receives one callback per committed design
+	// point (in point order) while a query runs, enabling per-point
+	// streaming in the serving layer.
+	Progress func(done, total int, out core.PointOutcome)
 }
 
 // Similar returns the k archived configurations nearest to config,
@@ -305,11 +328,17 @@ func (e *Engine) Similar(config map[string]string, k int) ([]results.Neighbor, e
 
 // Execute parses and runs a query.
 func (e *Engine) Execute(queryText string) (*ResultSet, error) {
+	return e.ExecuteContext(context.Background(), queryText)
+}
+
+// ExecuteContext parses and runs a query under ctx; cancellation stops
+// the sweep at design-point granularity and returns ctx.Err.
+func (e *Engine) ExecuteContext(ctx context.Context, queryText string) (*ResultSet, error) {
 	q, err := Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(q)
+	return e.RunContext(ctx, q)
 }
 
 // applySetting mutates one engine session setting and returns the
@@ -396,6 +425,11 @@ func (e *Engine) runSet(q *Query) (*ResultSet, error) {
 
 // Run executes a parsed query.
 func (e *Engine) Run(q *Query) (*ResultSet, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext executes a parsed query under ctx.
+func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 	if len(q.Set) > 0 {
 		return e.runSet(q)
 	}
@@ -514,11 +548,14 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 			return sc, slas, nil
 		},
 		Runner: core.Runner{
-			Trials: trials, TargetCI: targetCI,
+			Trials: trials, TargetCI: targetCI, Workers: e.TrialWorkers,
 			CRN: crn, Antithetic: antithetic, FailureBias: failureBias,
 		},
-		Prune:   prune,
-		Workers: workers,
+		Prune:    prune,
+		Workers:  workers,
+		Cache:    e.Cache,
+		Gate:     e.Gate,
+		Progress: e.Progress,
 	}
 	// Screening is sound for this query only when the WHERE filter is
 	// exactly the availability conjunction the screen can decide; other
@@ -530,14 +567,15 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 		}
 		explorer.Screen = &core.ScreenRule{Margin: margin}
 	}
-	exploration, err := explorer.Run()
+	exploration, err := explorer.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	// Assemble rows.
 	rs := &ResultSet{Query: q, Executed: exploration.Executed,
-		Pruned: exploration.Pruned, Screened: exploration.Screened}
+		Pruned: exploration.Pruned, Screened: exploration.Screened,
+		CacheHits: exploration.CacheHits}
 	for _, out := range exploration.Outcomes {
 		row := Row{
 			Config:   map[string]string{},
@@ -589,7 +627,11 @@ func (e *Engine) Run(q *Query) (*ResultSet, error) {
 		row.Passed = passed
 		rs.Rows = append(rs.Rows, row)
 
-		if e.Store != nil {
+		// Cache-served rows are re-executions of an already-archived
+		// simulation: skipping them keeps the §4.4 archive one record
+		// per simulation actually run, instead of growing linearly with
+		// every repeat of a popular query.
+		if e.Store != nil && !out.FromCache {
 			if _, err := e.Store.Add(results.Record{
 				Scenario: q.Metric,
 				Config:   row.Config,

@@ -73,7 +73,24 @@ var keywords = map[string]bool{
 type token struct {
 	kind tokenKind
 	text string // keywords upper-cased; idents as written
-	pos  int    // byte offset for error messages
+	pos  int    // byte offset; rendered as line:column in error messages
+}
+
+// posAt renders the 1-based line:column of byte offset off in src — the
+// position format parse errors report. Server clients get these errors
+// back as JSON, and a line:column is actionable in a multi-line query
+// where a byte offset is not.
+func posAt(src string, off int) string {
+	line, col := 1, 1
+	for i := 0; i < off && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("%d:%d", line, col)
 }
 
 // lex tokenizes the input.
@@ -105,7 +122,7 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			if j >= n {
-				return nil, fmt.Errorf("wtql: unterminated string at offset %d", i)
+				return nil, fmt.Errorf("wtql: unterminated string at %s", posAt(input, i))
 			}
 			toks = append(toks, token{tokString, input[i+1 : j], i})
 			i = j + 1
@@ -117,7 +134,7 @@ func lex(input string) ([]token, error) {
 				toks = append(toks, token{tokOp, "!=", i})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("wtql: unexpected '!' at offset %d", i)
+				return nil, fmt.Errorf("wtql: unexpected '!' at %s", posAt(input, i))
 			}
 		case c == '<' || c == '>':
 			op := string(c)
@@ -150,7 +167,7 @@ func lex(input string) ([]token, error) {
 			}
 			i = j
 		default:
-			return nil, fmt.Errorf("wtql: unexpected character %q at offset %d", c, i)
+			return nil, fmt.Errorf("wtql: unexpected character %q at %s", c, posAt(input, i))
 		}
 	}
 	toks = append(toks, token{tokEOF, "", n})

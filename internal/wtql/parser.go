@@ -60,7 +60,7 @@ func Parse(input string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, src: input}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -71,7 +71,11 @@ func Parse(input string) (*Query, error) {
 type parser struct {
 	toks []token
 	pos  int
+	src  string // original query text, for line:column error positions
 }
+
+// at renders a token offset as line:column.
+func (p *parser) at(off int) string { return posAt(p.src, off) }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
@@ -79,7 +83,7 @@ func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if t.kind != tokKeyword || t.text != kw {
-		return fmt.Errorf("wtql: expected %s at offset %d, got %q", kw, t.pos, t.text)
+		return fmt.Errorf("wtql: expected %s at %s, got %q", kw, p.at(t.pos), t.text)
 	}
 	return nil
 }
@@ -101,7 +105,7 @@ func (p *parser) parseQuery() (*Query, error) {
 	}
 	t := p.next()
 	if t.kind != tokIdent {
-		return nil, fmt.Errorf("wtql: expected metric name after SIMULATE at offset %d", t.pos)
+		return nil, fmt.Errorf("wtql: expected metric name after SIMULATE at %s", p.at(t.pos))
 	}
 	q := &Query{Metric: t.text}
 
@@ -144,7 +148,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		t := p.next()
 		if t.kind != tokIdent {
-			return nil, fmt.Errorf("wtql: expected identifier after ORDER BY at offset %d", t.pos)
+			return nil, fmt.Errorf("wtql: expected identifier after ORDER BY at %s", p.at(t.pos))
 		}
 		q.OrderBy = t.text
 		if p.acceptKeyword("DESC") {
@@ -156,7 +160,7 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.acceptKeyword("LIMIT") {
 		t := p.next()
 		if t.kind != tokNumber {
-			return nil, fmt.Errorf("wtql: expected number after LIMIT at offset %d", t.pos)
+			return nil, fmt.Errorf("wtql: expected number after LIMIT at %s", p.at(t.pos))
 		}
 		n, err := strconv.Atoi(t.text)
 		if err != nil || n < 1 {
@@ -168,7 +172,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		p.pos++
 	}
 	if p.cur().kind != tokEOF {
-		return nil, fmt.Errorf("wtql: unexpected trailing input %q at offset %d", p.cur().text, p.cur().pos)
+		return nil, fmt.Errorf("wtql: unexpected trailing input %q at %s", p.cur().text, p.at(p.cur().pos))
 	}
 	return q, nil
 }
@@ -184,12 +188,12 @@ func (p *parser) parseSet() (*Query, error) {
 	for {
 		t := p.next()
 		if t.kind != tokIdent {
-			return nil, fmt.Errorf("wtql: expected setting name in SET at offset %d", t.pos)
+			return nil, fmt.Errorf("wtql: expected setting name in SET at %s", p.at(t.pos))
 		}
 		a := Assign{Param: t.text}
 		op := p.next()
 		if op.kind != tokOp || op.text != "=" {
-			return nil, fmt.Errorf("wtql: expected '=' after %s at offset %d", a.Param, op.pos)
+			return nil, fmt.Errorf("wtql: expected '=' after %s at %s", a.Param, p.at(op.pos))
 		}
 		if p.cur().kind == tokIdent {
 			a.Value = p.next().text
@@ -210,7 +214,7 @@ func (p *parser) parseSet() (*Query, error) {
 		p.pos++
 	}
 	if p.cur().kind != tokEOF {
-		return nil, fmt.Errorf("wtql: unexpected trailing input %q at offset %d", p.cur().text, p.cur().pos)
+		return nil, fmt.Errorf("wtql: unexpected trailing input %q at %s", p.cur().text, p.at(p.cur().pos))
 	}
 	return q, nil
 }
@@ -218,14 +222,14 @@ func (p *parser) parseSet() (*Query, error) {
 func (p *parser) parseVary() (VaryClause, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return VaryClause{}, fmt.Errorf("wtql: expected parameter name in VARY at offset %d", t.pos)
+		return VaryClause{}, fmt.Errorf("wtql: expected parameter name in VARY at %s", p.at(t.pos))
 	}
 	vc := VaryClause{Param: t.text}
 	if err := p.expectKeyword("IN"); err != nil {
 		return VaryClause{}, err
 	}
 	if tk := p.next(); tk.kind != tokLParen {
-		return VaryClause{}, fmt.Errorf("wtql: expected '(' after IN at offset %d", tk.pos)
+		return VaryClause{}, fmt.Errorf("wtql: expected '(' after IN at %s", p.at(tk.pos))
 	}
 	for {
 		v, err := p.parseValue()
@@ -238,7 +242,7 @@ func (p *parser) parseVary() (VaryClause, error) {
 			break
 		}
 		if tk.kind != tokComma {
-			return VaryClause{}, fmt.Errorf("wtql: expected ',' or ')' in VARY list at offset %d", tk.pos)
+			return VaryClause{}, fmt.Errorf("wtql: expected ',' or ')' in VARY list at %s", p.at(tk.pos))
 		}
 	}
 	if p.acceptKeyword("MONOTONE") {
@@ -250,12 +254,12 @@ func (p *parser) parseVary() (VaryClause, error) {
 func (p *parser) parseAssign() (Assign, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return Assign{}, fmt.Errorf("wtql: expected parameter name in WITH at offset %d", t.pos)
+		return Assign{}, fmt.Errorf("wtql: expected parameter name in WITH at %s", p.at(t.pos))
 	}
 	a := Assign{Param: t.text}
 	op := p.next()
 	if op.kind != tokOp || op.text != "=" {
-		return Assign{}, fmt.Errorf("wtql: expected '=' after %s at offset %d", a.Param, op.pos)
+		return Assign{}, fmt.Errorf("wtql: expected '=' after %s at %s", a.Param, p.at(op.pos))
 	}
 	v, err := p.parseValue()
 	if err != nil {
@@ -271,7 +275,7 @@ func (p *parser) parseValue() (any, error) {
 	case tokNumber:
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("wtql: bad number %q at offset %d", t.text, t.pos)
+			return nil, fmt.Errorf("wtql: bad number %q at %s", t.text, p.at(t.pos))
 		}
 		return f, nil
 	case tokString:
@@ -284,7 +288,7 @@ func (p *parser) parseValue() (any, error) {
 			return false, nil
 		}
 	}
-	return nil, fmt.Errorf("wtql: expected value at offset %d, got %q", t.pos, t.text)
+	return nil, fmt.Errorf("wtql: expected value at %s, got %q", p.at(t.pos), t.text)
 }
 
 func (p *parser) parseOr() (Expr, error) {
@@ -332,17 +336,17 @@ func (p *parser) parseNot() (Expr, error) {
 			return nil, err
 		}
 		if tk := p.next(); tk.kind != tokRParen {
-			return nil, fmt.Errorf("wtql: expected ')' at offset %d", tk.pos)
+			return nil, fmt.Errorf("wtql: expected ')' at %s", p.at(tk.pos))
 		}
 		return e, nil
 	}
 	t := p.next()
 	if t.kind != tokIdent {
-		return nil, fmt.Errorf("wtql: expected identifier in WHERE at offset %d, got %q", t.pos, t.text)
+		return nil, fmt.Errorf("wtql: expected identifier in WHERE at %s, got %q", p.at(t.pos), t.text)
 	}
 	op := p.next()
 	if op.kind != tokOp {
-		return nil, fmt.Errorf("wtql: expected comparison operator at offset %d", op.pos)
+		return nil, fmt.Errorf("wtql: expected comparison operator at %s", p.at(op.pos))
 	}
 	v, err := p.parseValue()
 	if err != nil {
