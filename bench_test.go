@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/dist"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -486,5 +487,29 @@ func BenchmarkWTQL(b *testing.B) {
 		if rs.Executed == 0 {
 			b.Fatal("no configurations executed")
 		}
+	}
+}
+
+// BenchmarkPowerObserver measures the energy meter's per-event cost —
+// the zero-allocation observer internal/power layers on node and power
+// domain transitions. One op is one power-state transition (the same
+// granularity as a node fail/restore); it must stay at ~0 allocs/op so
+// power-enabled sweeps pay arithmetic, not garbage, per event.
+func BenchmarkPowerObserver(b *testing.B) {
+	m, err := power.NewMeter(1024, 140, 0.45, 0.3, 1.5, 0.4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		node := i & 1023
+		m.SetNodeOn(now, node, i&1 == 0)
+		now += 0.001
+	}
+	m.Finalize(now)
+	if m.ITEnergyKWh() <= 0 {
+		b.Fatal("meter integrated no energy")
 	}
 }

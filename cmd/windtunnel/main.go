@@ -23,8 +23,20 @@
 //	  "placement": "random",
 //	  "repair_mode": "parallel", "repair_concurrency": 8,
 //	  "detection_hours": 0,
-//	  "horizon_hours": 8766, "seed": 1
+//	  "horizon_hours": 8766, "seed": 1,
+//	  "power": {
+//	    "pdus": 2, "pdu_spec": "pdu-basic", "ups_spec": "ups-240kva",
+//	    "utility_ttf": "exp(mean=2000)", "utility_repair": "lognormal(mean=4, cv=1)",
+//	    "ups_minutes": 15, "generator_start_prob": 0.95, "generator_start_hours": 0.2,
+//	    "utilization": 0.3, "idle_fraction": 0.45, "pue": 1.5,
+//	    "carbon_intensity": 0.4,
+//	    "cap": 0.2, "cap_start_hours": 0, "cap_duration_hours": 0
+//	  }
 //	}
+//
+// A "power" block enables the power subsystem (set "enabled": false to
+// keep a block around without it); -power prints the power & energy
+// report with the energy-aware cost breakdown.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dist"
 	"repro/internal/hardware"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/sla"
 	"repro/internal/storage"
@@ -49,30 +62,75 @@ import (
 
 // scenarioSpec is the JSON-friendly scenario description.
 type scenarioSpec struct {
-	Racks             int       `json:"racks"`
-	NodesPerRack      int       `json:"nodes_per_rack"`
-	DiskSpec          string    `json:"disk_spec"`
-	DisksPerNode      int       `json:"disks_per_node"`
-	NICSpec           string    `json:"nic_spec"`
-	CPUSpec           string    `json:"cpu_spec"`
-	MemSpec           string    `json:"mem_spec"`
-	SwitchSpec        string    `json:"switch_spec"`
-	NodeMTTFHours     float64   `json:"node_mttf_hours"`
-	NodeRepairHours   float64   `json:"node_repair_hours"`
-	NodeTTF           dist.Spec `json:"node_ttf"`
-	NodeRepair        dist.Spec `json:"node_repair"`
-	Detection         dist.Spec `json:"detection"`
-	Users             int       `json:"users"`
-	ObjectMB          float64   `json:"object_mb"`
-	Replication       int       `json:"replication"`
-	RSK               int       `json:"rs_k"`
-	RSM               int       `json:"rs_m"`
-	Placement         string    `json:"placement"`
-	RepairMode        string    `json:"repair_mode"`
-	RepairConcurrency int       `json:"repair_concurrency"`
-	DetectionHours    float64   `json:"detection_hours"`
-	HorizonHours      float64   `json:"horizon_hours"`
-	Seed              uint64    `json:"seed"`
+	Racks             int        `json:"racks"`
+	NodesPerRack      int        `json:"nodes_per_rack"`
+	DiskSpec          string     `json:"disk_spec"`
+	DisksPerNode      int        `json:"disks_per_node"`
+	NICSpec           string     `json:"nic_spec"`
+	CPUSpec           string     `json:"cpu_spec"`
+	MemSpec           string     `json:"mem_spec"`
+	SwitchSpec        string     `json:"switch_spec"`
+	NodeMTTFHours     float64    `json:"node_mttf_hours"`
+	NodeRepairHours   float64    `json:"node_repair_hours"`
+	NodeTTF           dist.Spec  `json:"node_ttf"`
+	NodeRepair        dist.Spec  `json:"node_repair"`
+	Detection         dist.Spec  `json:"detection"`
+	Users             int        `json:"users"`
+	ObjectMB          float64    `json:"object_mb"`
+	Replication       int        `json:"replication"`
+	RSK               int        `json:"rs_k"`
+	RSM               int        `json:"rs_m"`
+	Placement         string     `json:"placement"`
+	RepairMode        string     `json:"repair_mode"`
+	RepairConcurrency int        `json:"repair_concurrency"`
+	DetectionHours    float64    `json:"detection_hours"`
+	HorizonHours      float64    `json:"horizon_hours"`
+	Seed              uint64     `json:"seed"`
+	Power             *powerSpec `json:"power"`
+}
+
+// powerSpec is the JSON-friendly power.Config. A present block enables
+// the subsystem unless "enabled": false is given explicitly.
+type powerSpec struct {
+	Enabled             *bool     `json:"enabled"`
+	PDUs                int       `json:"pdus"`
+	PDUSpec             string    `json:"pdu_spec"`
+	UPSSpec             string    `json:"ups_spec"`
+	UtilityTTF          dist.Spec `json:"utility_ttf"`
+	UtilityRepair       dist.Spec `json:"utility_repair"`
+	UPSMinutes          float64   `json:"ups_minutes"`
+	GeneratorStartProb  float64   `json:"generator_start_prob"`
+	GeneratorStartHours float64   `json:"generator_start_hours"`
+	IdleFraction        float64   `json:"idle_fraction"`
+	Utilization         float64   `json:"utilization"`
+	PUE                 float64   `json:"pue"`
+	CarbonIntensity     float64   `json:"carbon_intensity"`
+	Cap                 float64   `json:"cap"`
+	CapStartHours       float64   `json:"cap_start_hours"`
+	CapDurationHours    float64   `json:"cap_duration_hours"`
+}
+
+// apply converts the JSON block into a power.Config.
+func (ps *powerSpec) apply() power.Config {
+	cfg := power.Config{
+		Enabled:             ps.Enabled == nil || *ps.Enabled,
+		PDUs:                ps.PDUs,
+		PDUSpec:             ps.PDUSpec,
+		UPSSpec:             ps.UPSSpec,
+		UtilityTTF:          ps.UtilityTTF.Dist,
+		UtilityRepair:       ps.UtilityRepair.Dist,
+		UPSMinutes:          ps.UPSMinutes,
+		GeneratorStartProb:  ps.GeneratorStartProb,
+		GeneratorStartHours: ps.GeneratorStartHours,
+		IdleFraction:        ps.IdleFraction,
+		Utilization:         ps.Utilization,
+		PUE:                 ps.PUE,
+		CarbonKgPerKWh:      ps.CarbonIntensity,
+		CapFraction:         ps.Cap,
+		CapStartHours:       ps.CapStartHours,
+		CapDurationHours:    ps.CapDurationHours,
+	}
+	return cfg
 }
 
 // apply overlays the non-zero spec fields onto the default scenario.
@@ -170,6 +228,9 @@ func (sp scenarioSpec) apply() (windtunnel.Scenario, error) {
 	if sp.Seed != 0 {
 		sc.Seed = sp.Seed
 	}
+	if sp.Power != nil {
+		sc.Power = sp.Power.apply()
+	}
 	return sc, nil
 }
 
@@ -190,6 +251,8 @@ func main() {
 	trials := flag.Int("trials", 10, "independent simulation trials")
 	minAvail := flag.Float64("min-availability", 0, "availability SLA to check (0 = none)")
 	maxLoss := flag.Float64("max-loss", -1, "durability SLA: max loss probability (-1 = none)")
+	maxPeakKW := flag.Float64("max-peak-kw", 0, "power-budget SLA: max facility peak kW (0 = none; needs a power-enabled scenario)")
+	powerReport := flag.Bool("power", false, "print the power & energy report (needs a power-enabled scenario)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
@@ -233,6 +296,16 @@ func main() {
 		}
 		slas = append(slas, s)
 	}
+	if *maxPeakKW > 0 {
+		if !sc.Power.Enabled {
+			fatal(fmt.Errorf("-max-peak-kw needs a power-enabled scenario (add a \"power\" block)"))
+		}
+		s, err := sla.NewPowerBudget(*maxPeakKW)
+		if err != nil {
+			fatal(err)
+		}
+		slas = append(slas, s)
+	}
 
 	res, err := windtunnel.Runner{Trials: *trials, SLAs: slas}.RunContext(ctx, sc)
 	if err != nil {
@@ -258,13 +331,50 @@ func main() {
 	}
 
 	book := cost.DefaultPriceBook()
-	breakdown, err := cost.Estimate(hardware.DefaultCatalog(), sc.Cluster, book, sc.HorizonHours)
+	breakdown, err := cost.EstimateWithPower(hardware.DefaultCatalog(), sc.Cluster, sc.Power, book, sc.HorizonHours)
 	if err != nil {
 		fatal(err)
 	}
+	if kwh, ok := res.Metrics["energy_kwh"]; ok {
+		carbon := sc.Power.CarbonKgPerKWh
+		if carbon == 0 {
+			carbon = power.DefaultCarbon
+		}
+		breakdown = cost.WithMeasuredEnergy(breakdown, kwh, carbon, book)
+	}
 	fmt.Printf("\ncost: %v\n", breakdown)
+	if breakdown.EnergyMeasured {
+		fmt.Printf("      energy priced from the simulated %.1f kWh (not nameplate)\n", breakdown.EnergyKWh)
+	}
 	if perUser, err := cost.PerUserMonthlyUSD(breakdown, sc.Users); err == nil {
 		fmt.Printf("      $%.2f per user per month\n", perUser)
+	}
+
+	if *powerReport {
+		if !sc.Power.Enabled {
+			fmt.Println("\npower: subsystem disabled (add a \"power\" block to the scenario JSON)")
+		} else {
+			fmt.Println("\npower & energy report:")
+			for _, row := range []struct{ label, metric, unit string }{
+				{"facility energy", "energy_kwh", "kWh"},
+				{"IT energy", "energy_it_kwh", "kWh"},
+				{"peak draw", "peak_kw", "kW"},
+				{"PUE", "pue", ""},
+				{"carbon", "carbon_kg", "kg CO2"},
+				{"utility outages", "power_utility_outages", "/trial"},
+				{"UPS ride-throughs", "power_ride_through_ok", "/trial"},
+				{"generator starts", "power_generator_starts", "/trial"},
+				{"facility blackouts", "power_loss_events", "/trial"},
+				{"PDU failures", "power_pdu_failures", "/trial"},
+			} {
+				line := fmt.Sprintf("  %-20s %.6g %s", row.label, res.Metrics[row.metric], row.unit)
+				if ci, ok := res.CI[row.metric]; ok {
+					line += fmt.Sprintf("  (95%% CI +-%.3g)", ci)
+				}
+				fmt.Println(line)
+			}
+			fmt.Printf("  %-20s $%.0f over the horizon\n", "energy bill", breakdown.EnergyUSD)
+		}
 	}
 
 	if len(res.Verdicts) > 0 {

@@ -128,3 +128,81 @@ func TestScenarioSpecDistOverrides(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioSpecPowerOverlay(t *testing.T) {
+	raw := `{
+	  "racks": 4,
+	  "power": {
+	    "pdus": 2, "pdu_spec": "pdu-redundant", "ups_spec": "ups-240kva",
+	    "utility_ttf": "exp(mean=2000)", "utility_repair": "det(4)",
+	    "ups_minutes": 15, "generator_start_prob": 0.95, "generator_start_hours": 0.2,
+	    "pue": 1.4, "carbon_intensity": 0.3,
+	    "cap": 0.2, "cap_start_hours": 100, "cap_duration_hours": 50
+	  }
+	}`
+	var spec scenarioSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := sc.Power
+	if !p.Enabled {
+		t.Fatal("power block did not enable the subsystem")
+	}
+	if p.PDUs != 2 || p.PDUSpec != "pdu-redundant" || p.UPSSpec != "ups-240kva" {
+		t.Errorf("hierarchy fields: %+v", p)
+	}
+	if p.UtilityTTF == nil || p.UtilityTTF.Mean() != 2000 || p.UtilityRepair.Mean() != 4 {
+		t.Errorf("utility dists: %+v", p)
+	}
+	if p.UPSMinutes != 15 || p.GeneratorStartProb != 0.95 || p.GeneratorStartHours != 0.2 {
+		t.Errorf("ride-through fields: %+v", p)
+	}
+	if p.PUE != 1.4 || p.CarbonKgPerKWh != 0.3 {
+		t.Errorf("energy fields: %+v", p)
+	}
+	if p.CapFraction != 0.2 || p.CapStartHours != 100 || p.CapDurationHours != 50 {
+		t.Errorf("cap fields: %+v", p)
+	}
+
+	// An explicit "enabled": false keeps the block inert.
+	var off scenarioSpec
+	if err := json.Unmarshal([]byte(`{"power": {"enabled": false, "pdus": 2}}`), &off); err != nil {
+		t.Fatal(err)
+	}
+	sc, err = off.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Power.Enabled {
+		t.Error("enabled: false ignored")
+	}
+
+	// No power block: subsystem stays off.
+	sc, err = scenarioSpec{}.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Power.Enabled {
+		t.Error("power enabled without a block")
+	}
+
+	// Invalid power values fail scenario validation.
+	var bad scenarioSpec
+	if err := json.Unmarshal([]byte(`{"power": {"cap": 1.5}}`), &bad); err != nil {
+		t.Fatal(err)
+	}
+	sc, err = bad.apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err == nil {
+		t.Error("cap 1.5 passed validation")
+	}
+}

@@ -1,0 +1,76 @@
+// Power budget: the power & energy subsystem end to end — the three
+// scenario classes internal/power opens up:
+//
+//  1. PDU failure domains: a PDU outage takes down exactly the racks it
+//     feeds, nested with the ToR domains (restoring power never
+//     un-fails a dead switch).
+//  2. Utility outages: UPS battery ride-through vs generator start vs
+//     facility blackout, resolved per outage.
+//  3. Power capping: throttling service rates to shave peak power, and
+//     what that 20% cap costs in availability — with the energy-aware
+//     TCO from the simulated kWh.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	windtunnel "repro"
+	"repro/internal/dist"
+	"repro/internal/power"
+)
+
+func main() {
+	// --- 1 + 2: hierarchy failures over one simulated year ---------------
+	sc := windtunnel.DefaultScenario()
+	sc.Cluster.Racks = 4
+	sc.Cluster.NodesPerRack = 5
+	sc.Users = 300
+	sc.Power = power.Config{
+		Enabled: true,
+		// Two PDUs, each feeding two racks.
+		PDUs: 2, PDUSpec: "pdu-basic",
+		UPSSpec: "ups-240kva",
+		// Utility outages a few times a year, minutes-to-hours long.
+		UtilityTTF:    dist.Must(dist.ExpMean(2000)),
+		UtilityRepair: dist.Must(dist.LogNormalFromMoments(2, 1.5)),
+		UPSMinutes:    15,
+		// The generator usually starts, in ~12 minutes.
+		GeneratorStartProb:  0.9,
+		GeneratorStartHours: 0.2,
+	}
+
+	res, err := windtunnel.Run(sc, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hierarchy scenario: %d racks on %d PDUs, UPS + generator, %d trials\n",
+		sc.Cluster.Racks, sc.Power.PDUs, res.Trials)
+	fmt.Printf("  availability:       %.6f\n", res.Metrics["availability"])
+	fmt.Printf("  utility outages:    %.1f /trial\n", res.Metrics["power_utility_outages"])
+	fmt.Printf("  UPS ride-throughs:  %.1f /trial\n", res.Metrics["power_ride_through_ok"])
+	fmt.Printf("  generator starts:   %.1f /trial\n", res.Metrics["power_generator_starts"])
+	fmt.Printf("  facility blackouts: %.1f /trial\n", res.Metrics["power_loss_events"])
+	fmt.Printf("  PDU failures:       %.1f /trial\n", res.Metrics["power_pdu_failures"])
+	fmt.Printf("  loss probability:   %.2g   (outages interrupt, they do not destroy)\n",
+		res.Metrics["loss_prob"])
+	fmt.Printf("  facility energy:    %.0f kWh, peak %.2f kW, %.0f kg CO2\n\n",
+		res.Metrics["energy_kwh"], res.Metrics["peak_kw"], res.Metrics["carbon_kg"])
+
+	// --- 3: the power-cap sweep, declaratively -------------------------
+	// One WTQL query sweeps the cap depth; energy_kwh/peak_kw appear as
+	// columns and cost.total is priced from the simulated energy.
+	rs, err := windtunnel.Query(`
+		SIMULATE availability
+		VARY power.cap IN (0, 0.1, 0.2, 0.3)
+		WITH users = 300, cluster.racks = 2, cluster.nodes_per_rack = 5,
+		     net.nic = 'nic-1g', object_mb = 2000,
+		     node.ttf = 'exp(mean=400)', node.repair = 'det(12)',
+		     horizon_hours = 4000, trials = 4, crn = TRUE
+		ORDER BY power.cap ASC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("power-cap sweep (energy-aware TCO):")
+	fmt.Print(rs.Render())
+}

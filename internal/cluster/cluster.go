@@ -8,6 +8,14 @@
 // failures (a ToR switch failure makes a whole rack unreachable — the
 // scale effect §2.1 says small prototypes cannot reproduce), and the
 // network capacities that bound the repair process.
+//
+// Correlated failures are expressed through failure Domains: a Domain is
+// a set of nodes (and links) sharing one single point of failure. Racks
+// behind a ToR switch are the built-in domain; internal/power layers
+// PDU and whole-facility power domains on the same mechanism. Domains
+// nest — a node is available only while it is itself up AND every domain
+// covering it is up, tracked with per-node and per-link veto counters so
+// restoring an outer domain never "un-fails" an inner one.
 package cluster
 
 import (
@@ -83,9 +91,51 @@ type Node struct {
 	accessLk *netsim.Link
 }
 
+// Domain is one correlated-failure domain: a set of nodes (and,
+// optionally, links forced down) behind a single point of failure. The
+// built-in rack domains model ToR switches; internal/power adds PDU and
+// facility-wide power domains on the same code path. Domains may overlap
+// and nest arbitrarily — availability is resolved through veto counters,
+// so a node becomes reachable again only when its own state AND every
+// covering domain are healthy.
+type Domain struct {
+	ID   int
+	Name string
+	// Power marks a domain that cuts power to its nodes (PDU, UPS,
+	// utility) rather than only reachability (ToR). The cluster treats
+	// both identically; energy accounting (internal/power) distinguishes
+	// them because an unreachable node still draws power while an
+	// unpowered one does not.
+	Power bool
+
+	nodes []int
+	links []*netsim.Link
+	up    bool
+}
+
+// Up reports whether the domain is operational.
+func (d *Domain) Up() bool { return d.up }
+
+// NodeIDs returns the IDs of the nodes the domain covers. The returned
+// slice is owned by the domain and must not be mutated.
+func (d *Domain) NodeIDs() []int { return d.nodes }
+
+// Links returns the links the domain forces down while failed. The
+// returned slice is owned by the domain and must not be mutated.
+func (d *Domain) Links() []*netsim.Link { return d.links }
+
 // Up reports whether the node itself is up (independent of rack
 // reachability).
 func (n *Node) Up() bool { return n.up }
+
+// AccessLinkCapacity returns the node's current access-link capacity
+// (MB per simulated hour), reflecting any service throttle.
+func (n *Node) AccessLinkCapacity() float64 {
+	if n.accessLk == nil {
+		return 0
+	}
+	return n.accessLk.Capacity
+}
 
 // Cluster is a fully wired simulated data center.
 type Cluster struct {
@@ -98,12 +148,27 @@ type Cluster struct {
 	nodes    []*Node
 	torIDs   []netsim.NodeID
 	torSws   []*hardware.Component // indexed by rack; nil without SwitchFailures
-	torUp    []bool
 	uplinks  []*netsim.Link
 	onDown   []func(*Node)
 	onUp     []func(*Node)
 	onDisk   []func(*Node, int) // node, disk index
 	onDiskOK []func(*Node, int)
+
+	// Failure domains. rackDomains[r] is the built-in ToR domain of rack
+	// r; nodeVeto[i] counts down domains covering node i and linkVeto
+	// counts down domains forcing a link down, so overlapping domains
+	// compose (restoring one never un-fails another).
+	domains     []*Domain
+	rackDomains []*Domain
+	nodeVeto    []int
+	linkVeto    map[*netsim.Link]int
+	onDomDown   []func(*Domain)
+	onDomUp     []func(*Domain)
+
+	// baseAccessCap memoizes the configured access-link capacities the
+	// first time SetServiceThrottle runs, so throttles compose from the
+	// unthrottled baseline rather than each other.
+	baseAccessCap []float64
 
 	nodeFailures int64
 	rackFailures int64
@@ -151,13 +216,11 @@ func Build(s *sim.Simulator, cat *hardware.Catalog, cfg Config) (*Cluster, error
 
 	c := &Cluster{
 		cfg: cfg, sim: s, cat: cat, Topo: topo,
-		Flow:   netsim.NewFlowSim(s, topo),
-		torIDs: tors,
-		torUp:  make([]bool, cfg.Racks),
-		torSws: make([]*hardware.Component, cfg.Racks),
-	}
-	for r := range c.torUp {
-		c.torUp[r] = true
+		Flow:     netsim.NewFlowSim(s, topo),
+		torIDs:   tors,
+		torSws:   make([]*hardware.Component, cfg.Racks),
+		nodeVeto: make([]int, cfg.Racks*cfg.NodesPerRack),
+		linkVeto: make(map[*netsim.Link]int),
 	}
 	// Identify each host's access link and each rack's uplink.
 	linkOf := func(a, b netsim.NodeID) *netsim.Link {
@@ -200,7 +263,123 @@ func Build(s *sim.Simulator, cat *hardware.Catalog, cfg Config) (*Cluster, error
 			id++
 		}
 	}
+	// The built-in correlated-failure domains: one per rack, covering its
+	// nodes and severing its uplink while down (the ToR mechanism).
+	for r := 0; r < cfg.Racks; r++ {
+		ids := make([]int, 0, cfg.NodesPerRack)
+		for h := 0; h < cfg.NodesPerRack; h++ {
+			ids = append(ids, r*cfg.NodesPerRack+h)
+		}
+		d, err := c.AddDomain(fmt.Sprintf("rack-%d", r), false, ids, []*netsim.Link{c.uplinks[r]})
+		if err != nil {
+			return nil, err
+		}
+		c.rackDomains = append(c.rackDomains, d)
+	}
 	return c, nil
+}
+
+// AddDomain registers a correlated-failure domain over the given node
+// IDs. While the domain is down, each listed link is forced down and
+// every covered node is unavailable; restoring the domain re-checks both
+// node-local state and any other down domain covering a node before
+// reporting it back up. power marks power-cutting domains (see Domain).
+func (c *Cluster) AddDomain(name string, power bool, nodeIDs []int, links []*netsim.Link) (*Domain, error) {
+	seen := make(map[int]bool, len(nodeIDs))
+	for _, id := range nodeIDs {
+		if id < 0 || id >= len(c.nodes) {
+			return nil, fmt.Errorf("cluster: domain %q covers unknown node %d", name, id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: domain %q lists node %d twice", name, id)
+		}
+		seen[id] = true
+	}
+	d := &Domain{ID: len(c.domains), Name: name, Power: power, nodes: nodeIDs, links: links, up: true}
+	c.domains = append(c.domains, d)
+	return d, nil
+}
+
+// Domains returns all registered failure domains (rack domains first).
+func (c *Cluster) Domains() []*Domain { return c.domains }
+
+// RackDomain returns the built-in ToR domain of rack r.
+func (c *Cluster) RackDomain(r int) *Domain { return c.rackDomains[r] }
+
+// OnDomainDown registers fn for domain-down transitions. It fires once
+// per domain failure, before the per-node OnNodeDown callbacks.
+func (c *Cluster) OnDomainDown(fn func(*Domain)) { c.onDomDown = append(c.onDomDown, fn) }
+
+// OnDomainUp registers fn for domain-up transitions.
+func (c *Cluster) OnDomainUp(fn func(*Domain)) { c.onDomUp = append(c.onDomUp, fn) }
+
+// FailDomain takes the domain down: its links are vetoed (and stay down
+// until every domain holding them recovers) and every covered node that
+// was available transitions to unavailable. Failing a down domain is a
+// no-op.
+func (c *Cluster) FailDomain(d *Domain) {
+	if !d.up {
+		return
+	}
+	d.up = false
+	changed := false
+	for _, l := range d.links {
+		c.linkVeto[l]++
+		if c.linkVeto[l] == 1 {
+			c.Topo.SetLinkUp(l, false)
+			changed = true
+		}
+	}
+	if changed {
+		c.Flow.OnLinkChange()
+	}
+	for _, fn := range c.onDomDown {
+		fn(d)
+	}
+	for _, id := range d.nodes {
+		n := c.nodes[id]
+		wasAvailable := n.up && c.nodeVeto[id] == 0
+		c.nodeVeto[id]++
+		if wasAvailable {
+			for _, fn := range c.onDown {
+				fn(n)
+			}
+		}
+	}
+}
+
+// RestoreDomain brings the domain back. A covered node is reported up
+// only if it is itself up and no other down domain still covers it —
+// restoring a PDU never un-fails a dead node or a rack whose ToR is
+// still down.
+func (c *Cluster) RestoreDomain(d *Domain) {
+	if d.up {
+		return
+	}
+	d.up = true
+	changed := false
+	for _, l := range d.links {
+		c.linkVeto[l]--
+		if c.linkVeto[l] == 0 {
+			c.Topo.SetLinkUp(l, true)
+			changed = true
+		}
+	}
+	if changed {
+		c.Flow.OnLinkChange()
+	}
+	for _, fn := range c.onDomUp {
+		fn(d)
+	}
+	for _, id := range d.nodes {
+		n := c.nodes[id]
+		c.nodeVeto[id]--
+		if n.up && c.nodeVeto[id] == 0 {
+			for _, fn := range c.onUp {
+				fn(n)
+			}
+		}
+	}
 }
 
 // Nodes returns all nodes.
@@ -233,11 +412,11 @@ func (c *Cluster) NodeFailures() int64 { return c.nodeFailures }
 // RackFailures returns the count of ToR-switch failures so far.
 func (c *Cluster) RackFailures() int64 { return c.rackFailures }
 
-// Available reports whether node id is up and reachable (its rack's ToR
-// switch is operational).
+// Available reports whether node id is up and reachable: the node
+// itself is up and no failure domain covering it (rack ToR, PDU,
+// facility power) is down.
 func (c *Cluster) Available(id int) bool {
-	n := c.nodes[id]
-	return n.up && c.torUp[n.Rack]
+	return c.nodes[id].up && c.nodeVeto[id] == 0
 }
 
 // AvailableCount returns the number of available nodes.
@@ -287,39 +466,20 @@ func (c *Cluster) RestoreNode(id int) {
 }
 
 // FailRack forces rack r's ToR switch down, making all its nodes
-// unreachable (correlated failure).
+// unreachable (correlated failure). It is the rack domain's failure.
 func (c *Cluster) FailRack(r int) {
-	if !c.torUp[r] {
+	if !c.rackDomains[r].up {
 		return
 	}
-	c.torUp[r] = false
 	c.rackFailures++
-	c.Topo.SetLinkUp(c.uplinks[r], false)
-	c.Flow.OnLinkChange()
-	for _, n := range c.nodes {
-		if n.Rack == r {
-			for _, fn := range c.onDown {
-				fn(n)
-			}
-		}
-	}
+	c.FailDomain(c.rackDomains[r])
 }
 
-// RestoreRack brings rack r's ToR switch back.
+// RestoreRack brings rack r's ToR switch back. Nodes that failed (or
+// whose other covering domains failed) while the rack was down stay
+// unavailable.
 func (c *Cluster) RestoreRack(r int) {
-	if c.torUp[r] {
-		return
-	}
-	c.torUp[r] = true
-	c.Topo.SetLinkUp(c.uplinks[r], true)
-	c.Flow.OnLinkChange()
-	for _, n := range c.nodes {
-		if n.Rack == r {
-			for _, fn := range c.onUp {
-				fn(n)
-			}
-		}
-	}
+	c.RestoreDomain(c.rackDomains[r])
 }
 
 // StartFailures wires all configured failure processes into the
@@ -398,6 +558,40 @@ func (c *Cluster) scheduleNodeLifecycle(n *Node, ttfStream, repairStream *rng.So
 			c.scheduleNodeLifecycle(n, ttfStream, repairStream)
 		})
 	})
+}
+
+// SetServiceThrottle scales every node's access-link capacity to factor
+// (in (0, 1]) of its configured value and reallocates in-flight flows —
+// the hook power capping (internal/power) uses to throttle per-node
+// service rates without touching link up/down state. Factor 1 restores
+// full speed.
+func (c *Cluster) SetServiceThrottle(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("cluster: service throttle %v outside (0, 1]", factor)
+	}
+	if c.baseAccessCap == nil {
+		c.baseAccessCap = make([]float64, len(c.nodes))
+		for i, n := range c.nodes {
+			if n.accessLk != nil {
+				c.baseAccessCap[i] = n.accessLk.Capacity
+			}
+		}
+	}
+	changed := false
+	for i, n := range c.nodes {
+		if n.accessLk == nil {
+			continue
+		}
+		want := c.baseAccessCap[i] * factor
+		if n.accessLk.Capacity != want {
+			n.accessLk.Capacity = want
+			changed = true
+		}
+	}
+	if changed {
+		c.Flow.OnLinkChange()
+	}
+	return nil
 }
 
 // NodeUptime returns the time-averaged fraction of time node id was up,

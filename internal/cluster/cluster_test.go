@@ -210,3 +210,132 @@ func TestNodeUptimeFullWindow(t *testing.T) {
 		t.Errorf("uptime = %v, want 0.75", got)
 	}
 }
+
+// TestDomainRestoreRechecksNodeState pins the fix for the blind ToR
+// restore: a node that failed (or whose other covering domain failed)
+// while a domain was down must NOT be reported back up when that domain
+// recovers.
+func TestDomainRestoreRechecksNodeState(t *testing.T) {
+	_, c := build(t, testConfig())
+	ups := 0
+	var upNodes []int
+	c.OnNodeUp(func(n *Node) { ups++; upNodes = append(upNodes, n.ID) })
+
+	c.FailRack(1)    // nodes 4..7 unreachable
+	c.FailNode(5)    // node 5 dies while its rack is dark
+	c.RestoreRack(1) // ToR back: 4, 6, 7 recover — 5 must not
+	if ups != 3 {
+		t.Fatalf("up callbacks = %d (%v), want 3 (node 5 is still down)", ups, upNodes)
+	}
+	if c.Available(5) {
+		t.Fatal("dead node reported available after rack restore")
+	}
+	if !c.Available(4) || !c.Available(6) || !c.Available(7) {
+		t.Fatal("healthy rack-1 nodes not restored")
+	}
+	c.RestoreNode(5)
+	if !c.Available(5) {
+		t.Fatal("node 5 unavailable after its own repair")
+	}
+}
+
+// TestDomainFailSkipsAlreadyDownNodes is the symmetric half: a domain
+// failure reports only the nodes that actually transition.
+func TestDomainFailSkipsAlreadyDownNodes(t *testing.T) {
+	_, c := build(t, testConfig())
+	downs := 0
+	c.OnNodeDown(func(*Node) { downs++ })
+	c.FailNode(4)
+	c.FailRack(1)
+	if downs != 4 { // node 4's own failure + 3 transitions from the rack blast
+		t.Fatalf("down callbacks = %d, want 4", downs)
+	}
+}
+
+// TestNestedDomains layers a PDU-style power domain over two racks and
+// checks that availability is the conjunction of every covering domain:
+// restoring the outer (PDU) domain while an inner (ToR) domain is down
+// keeps the rack dark, and vice versa.
+func TestNestedDomains(t *testing.T) {
+	_, c := build(t, testConfig())
+	// A "PDU" feeding racks 0 and 1 (nodes 0..7) through their uplinks.
+	var links []*netsim.Link
+	links = append(links, c.RackDomain(0).links...)
+	links = append(links, c.RackDomain(1).links...)
+	pdu, err := c.AddDomain("pdu-0", true, []int{0, 1, 2, 3, 4, 5, 6, 7}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pdu.Power || pdu.Name != "pdu-0" {
+		t.Fatal("domain metadata lost")
+	}
+
+	c.FailDomain(pdu)
+	if got := c.AvailableCount(); got != 4 {
+		t.Fatalf("available during PDU outage = %d, want 4 (rack 2 only)", got)
+	}
+	// Exactly its racks: rack 2 untouched.
+	for i := 8; i < 12; i++ {
+		if !c.Available(i) {
+			t.Fatalf("node %d outside the PDU domain went down", i)
+		}
+	}
+
+	// ToR of rack 0 dies during the power outage. PDU restore must bring
+	// back rack 1 but leave rack 0 dark (nested ToR state preserved).
+	c.FailRack(0)
+	c.RestoreDomain(pdu)
+	for i := 0; i < 4; i++ {
+		if c.Available(i) {
+			t.Fatalf("node %d available while its ToR is down", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if !c.Available(i) {
+			t.Fatalf("node %d not restored with the PDU", i)
+		}
+	}
+	// The shared uplink of rack 0 must still be vetoed down.
+	for _, l := range c.RackDomain(0).links {
+		if l.Up() {
+			t.Fatal("rack-0 uplink up while its ToR domain is down")
+		}
+	}
+	c.RestoreRack(0)
+	if c.AvailableCount() != 12 {
+		t.Fatalf("available = %d, want 12", c.AvailableCount())
+	}
+	for _, l := range c.RackDomain(0).links {
+		if !l.Up() {
+			t.Fatal("rack-0 uplink still down after both domains recovered")
+		}
+	}
+}
+
+// TestDomainValidation checks AddDomain's input checking and the
+// idempotence of fail/restore.
+func TestDomainValidation(t *testing.T) {
+	_, c := build(t, testConfig())
+	if _, err := c.AddDomain("bad", false, []int{99}, nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := c.AddDomain("dup", false, []int{1, 1}, nil); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	d, err := c.AddDomain("ok", false, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downs := 0
+	c.OnNodeDown(func(*Node) { downs++ })
+	c.FailDomain(d)
+	c.FailDomain(d) // idempotent
+	if downs != 2 {
+		t.Fatalf("down callbacks = %d, want 2", downs)
+	}
+	c.RestoreDomain(d)
+	c.RestoreDomain(d)
+	if !c.Available(0) || !c.Available(1) {
+		t.Fatal("nodes not restored")
+	}
+}

@@ -74,6 +74,22 @@ func CacheKey(sc Scenario, r Runner) string {
 		"repair.mode":                strconv.Itoa(int(sc.Repair.Mode)),
 		"repair.max_concurrent":      strconv.Itoa(repairSlots(sc.Repair)),
 		"repair.detection":           distKey(sc.Repair.Detection),
+		"power.enabled":              b(sc.Power.Enabled),
+		"power.pdus":                 strconv.Itoa(sc.Power.PDUs),
+		"power.pdu_spec":             sc.Power.PDUSpec,
+		"power.ups_spec":             sc.Power.UPSSpec,
+		"power.utility_ttf":          distKey(sc.Power.UtilityTTF),
+		"power.utility_repair":       distKey(sc.Power.UtilityRepair),
+		"power.ups_minutes":          f(sc.Power.UPSMinutes),
+		"power.generator_prob":       f(sc.Power.GeneratorStartProb),
+		"power.generator_hours":      f(sc.Power.GeneratorStartHours),
+		"power.idle_fraction":        f(sc.Power.IdleFraction),
+		"power.utilization":          f(sc.Power.Utilization),
+		"power.pue":                  f(sc.Power.PUE),
+		"power.carbon_intensity":     f(sc.Power.CarbonKgPerKWh),
+		"power.cap":                  f(sc.Power.CapFraction),
+		"power.cap_start":            f(sc.Power.CapStartHours),
+		"power.cap_duration":         f(sc.Power.CapDurationHours),
 		"horizon_hours":              f(sc.HorizonHours),
 		"seed":                       strconv.FormatUint(sc.Seed, 10),
 		"runner.trials":              strconv.Itoa(r.Trials),

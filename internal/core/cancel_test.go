@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/design"
 	"repro/internal/dist"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/sla"
 )
@@ -95,9 +96,10 @@ func TestCacheKeyCoverage(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{"core.Scenario", reflect.TypeOf(Scenario{}), 9},
+		{"core.Scenario", reflect.TypeOf(Scenario{}), 10},
 		{"cluster.Config", reflect.TypeOf(cluster.Config{}), 14},
 		{"repair.Config", reflect.TypeOf(repair.Config{}), 3},
+		{"power.Config", reflect.TypeOf(power.Config{}), 16},
 		{"core.Runner", reflect.TypeOf(Runner{}), 9},
 	} {
 		if got := tc.typ.NumField(); got != tc.want {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/hardware"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/sla"
 	"repro/internal/stats"
@@ -35,6 +36,11 @@ type Scenario struct {
 	Placement    string // placement policy name (storage.PolicyByName)
 
 	Repair repair.Config
+
+	// Power declares the power delivery hierarchy, energy accounting and
+	// power capping (internal/power). The zero value is disabled and
+	// leaves the simulation path byte-for-byte unchanged.
+	Power power.Config
 
 	HorizonHours float64
 	Seed         uint64
@@ -58,6 +64,9 @@ func (sc Scenario) Validate() error {
 		return err
 	}
 	if err := sc.Repair.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Power.Validate(); err != nil {
 		return err
 	}
 	if sc.HorizonHours <= 0 {
@@ -107,6 +116,16 @@ type RunResult struct {
 	//   repair_bytes_mb     — mean repair traffic per trial
 	//   node_failures       — mean node failures per trial
 	//   events              — mean DES events per trial
+	//
+	// With Scenario.Power.Enabled, the power/energy dimension is added:
+	//   energy_kwh          — mean facility energy per trial (IT × PUE)
+	//   energy_it_kwh       — mean IT-only energy per trial
+	//   peak_kw             — mean peak facility draw per trial
+	//   pue                 — configured power usage effectiveness
+	//   carbon_kg           — mean carbon footprint per trial
+	//   power_utility_outages / power_ride_through_ok /
+	//   power_generator_starts / power_loss_events /
+	//   power_pdu_failures  — mean hierarchy event counts per trial
 	Metrics map[string]float64
 
 	// CI holds 95% confidence half-widths for selected metrics.

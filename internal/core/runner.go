@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/hardware"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -106,6 +107,7 @@ type trialOutcome struct {
 	repairMakespan float64
 	weight         float64 // importance weight (1 when unbiased)
 	aborted        bool
+	power          power.Stats // zero unless Scenario.Power.Enabled
 	err            error
 }
 
@@ -125,6 +127,19 @@ const (
 	mRepBytes
 	mNodeFail
 	mMakespan
+	// Power/energy indices: always aggregated (zeros when the power
+	// subsystem is disabled) but surfaced as metrics only when enabled,
+	// so the default result map is unchanged.
+	mEnergy
+	mITEnergy
+	mPeakKW
+	mPUE
+	mCarbon
+	mUtilOutages
+	mRideOK
+	mGenStarts
+	mPowerLoss
+	mPDUFail
 	mCount
 )
 
@@ -139,6 +154,16 @@ func (o *trialOutcome) values(users int) [mCount]float64 {
 		mRepBytes:    o.repairBytes,
 		mNodeFail:    float64(o.nodeFailures),
 		mMakespan:    o.repairMakespan,
+		mEnergy:      o.power.EnergyKWh,
+		mITEnergy:    o.power.ITEnergyKWh,
+		mPeakKW:      o.power.PeakKW,
+		mPUE:         o.power.PUE,
+		mCarbon:      o.power.CarbonKg,
+		mUtilOutages: float64(o.power.UtilityOutages),
+		mRideOK:      float64(o.power.RideThroughOK),
+		mGenStarts:   float64(o.power.GeneratorStarts),
+		mPowerLoss:   float64(o.power.PowerLossEvents),
+		mPDUFail:     float64(o.power.PDUFailures),
 	}
 }
 
@@ -409,9 +434,22 @@ func (r Runner) simulate(ctx context.Context, sc Scenario) (*RunResult, error) {
 	metrics["node_failures"] = agg.mean(mNodeFail)
 	metrics["repair_makespan"] = agg.mean(mMakespan)
 	metrics["events"] = float64(events) / float64(rawTrials)
-	ci := make(map[string]float64, 2)
+	ci := make(map[string]float64, 3)
 	ci["availability"] = agg.ci(mAvail, 0.05)
 	ci["loss_prob"] = agg.ci(mLost, 0.05)
+	if sc.Power.Enabled {
+		metrics["energy_kwh"] = agg.mean(mEnergy)
+		metrics["energy_it_kwh"] = agg.mean(mITEnergy)
+		metrics["peak_kw"] = agg.mean(mPeakKW)
+		metrics["pue"] = agg.mean(mPUE)
+		metrics["carbon_kg"] = agg.mean(mCarbon)
+		metrics["power_utility_outages"] = agg.mean(mUtilOutages)
+		metrics["power_ride_through_ok"] = agg.mean(mRideOK)
+		metrics["power_generator_starts"] = agg.mean(mGenStarts)
+		metrics["power_loss_events"] = agg.mean(mPowerLoss)
+		metrics["power_pdu_failures"] = agg.mean(mPDUFail)
+		ci["energy_kwh"] = agg.ci(mEnergy, 0.05)
+	}
 	res := &RunResult{
 		Scenario:           sc.Name,
 		Trials:             rawTrials,
@@ -493,6 +531,13 @@ func (r Runner) runTrial(sc Scenario, trial uint64) trialOutcome {
 		return trialOutcome{err: err}
 	}
 	mgr.Start()
+	var psys *power.System
+	if sc.Power.Enabled {
+		psys, err = power.Attach(s, cl, hardware.DefaultCatalog(), sc.Power, sc.HorizonHours)
+		if err != nil {
+			return trialOutcome{err: err}
+		}
+	}
 	cl.StartFailures()
 
 	if r.Abort != nil {
@@ -526,6 +571,11 @@ func (r Runner) runTrial(sc Scenario, trial uint64) trialOutcome {
 	}
 	if biased != nil {
 		out.weight = biased.Weight()
+	}
+	if psys != nil {
+		// Aborted trials stop early; the meter integrates to wherever the
+		// clock actually reached.
+		out.power = psys.Stats(s.Now())
 	}
 	if mgr.RepairTimes().N() > 0 {
 		out.repairMakespan = mgr.RepairTimes().Max()

@@ -12,6 +12,8 @@ import (
 	"fmt"
 
 	"repro/internal/analytic"
+	"repro/internal/hardware"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/sla"
 	"repro/internal/storage"
@@ -83,13 +85,41 @@ type AnalyticBounds struct {
 	// SysUnavail is the union-bound upper estimate of the any-object
 	// unavailability: min(1, Users * ObjUnavail).
 	SysUnavail float64
+	// AvailValid reports that the availability bounds above are sound
+	// for the scenario. With the power subsystem enabled they are not
+	// (PDU/utility outages and power caps change availability dynamics
+	// the node-level chain cannot see), but power feasibility below can
+	// still be decided.
+	AvailValid bool
+	// PeakKWFloor is a lower bound on the facility's peak power draw
+	// when the power subsystem is enabled: every node idling at the
+	// configured idle fraction, times PUE. A power-budget SLA below this
+	// floor is infeasible for any trajectory — the power-feasibility
+	// screen. Zero when power is disabled.
+	PeakKWFloor float64
 }
 
 // AnalyticScreen computes the closed-form bounds for sc. It reports
-// ok=false when the scenario falls outside the model's reach (no
-// whole-node failure process, or component/switch failures enabled,
-// which the node-level chain does not capture).
+// ok=false when the scenario falls outside the model's reach entirely:
+// the availability chain needs a whole-node failure process and no
+// component/switch failures, and with the power subsystem enabled the
+// availability bounds are never valid (power outages and caps change
+// the dynamics) — but the power-feasibility floor still is, so a
+// power-enabled scenario screens with AvailValid=false and a positive
+// PeakKWFloor.
 func AnalyticScreen(sc Scenario) (AnalyticBounds, bool, error) {
+	var pb AnalyticBounds
+	if sc.Power.Enabled {
+		activeW, err := power.NodeActiveWatts(hardware.DefaultCatalog(), sc.Cluster)
+		if err != nil {
+			return AnalyticBounds{}, false, fmt.Errorf("core: screening power floor: %w", err)
+		}
+		nodes := sc.Cluster.Racks * sc.Cluster.NodesPerRack
+		pb.PeakKWFloor = sc.Power.IdleFloorKW(nodes, activeW)
+		// Availability bounds are unsound under power failures/caps; only
+		// the feasibility floor is decidable.
+		return pb, true, nil
+	}
 	if sc.Cluster.NodeTTF == nil || sc.Cluster.NodeRepair == nil {
 		return AnalyticBounds{}, false, nil
 	}
@@ -140,7 +170,10 @@ func AnalyticScreen(sc Scenario) (AnalyticBounds, bool, error) {
 	if sysU > 1 {
 		sysU = 1
 	}
-	return AnalyticBounds{ObjUnavail: objU, ObjUnavailLower: objLower, SysUnavail: sysU}, true, nil
+	return AnalyticBounds{
+		ObjUnavail: objU, ObjUnavailLower: objLower, SysUnavail: sysU,
+		AvailValid: true,
+	}, true, nil
 }
 
 // availabilityTargets extracts the allowed-unavailability budgets from
@@ -163,17 +196,35 @@ func availabilityTargets(slas []sla.SLA) (budgets []float64, all bool) {
 // Decide applies the screen rule to the analytic bounds: PASS when the
 // inflated upper bound clears every budget (and every SLA is an
 // availability SLA), FAIL when the deflated per-object lower bound
-// breaks some budget, SIMULATE otherwise. The decision is a pure
-// function of its inputs, so screening is reproducible and independent
-// of worker scheduling.
+// breaks some budget — or when the power-feasibility floor already
+// exceeds a power-budget SLA — and SIMULATE otherwise. The decision is
+// a pure function of its inputs, so screening is reproducible and
+// independent of worker scheduling.
 func (r ScreenRule) Decide(b AnalyticBounds, slas []sla.SLA) ScreenDecision {
-	budgets, all := availabilityTargets(slas)
-	if len(budgets) == 0 {
-		return ScreenSimulate
-	}
 	margin := r.Margin
 	if margin < 0 {
 		margin = 0
+	}
+	// Power feasibility: the idle floor is a hard lower bound on peak
+	// draw; a budget below it (even after margin deflation) cannot be
+	// met by any trajectory.
+	if b.PeakKWFloor > 0 {
+		for _, s := range slas {
+			pb, ok := s.(sla.PowerBudget)
+			if !ok || (pb.MetricName != "" && pb.MetricName != "peak_kw") {
+				continue
+			}
+			if b.PeakKWFloor/(1+margin) > pb.MaxKW {
+				return ScreenFail
+			}
+		}
+	}
+	if !b.AvailValid {
+		return ScreenSimulate
+	}
+	budgets, all := availabilityTargets(slas)
+	if len(budgets) == 0 {
+		return ScreenSimulate
 	}
 	for _, budget := range budgets {
 		if b.ObjUnavailLower/(1+margin) > budget {
@@ -195,13 +246,22 @@ func (r ScreenRule) Decide(b AnalyticBounds, slas []sla.SLA) ScreenDecision {
 // zero trials, zero events, and the analytic estimates in place of the
 // simulated metrics.
 func screenResult(sc Scenario, b AnalyticBounds) *RunResult {
-	metrics := make(map[string]float64, 7)
-	metrics["availability"] = 1 - b.SysUnavail
-	metrics["unavail_fraction"] = b.SysUnavail
-	metrics["analytic_obj_unavail"] = b.ObjUnavail
-	metrics["analytic_unavail_lower"] = b.ObjUnavailLower
+	metrics := make(map[string]float64, 8)
+	if b.AvailValid {
+		metrics["availability"] = 1 - b.SysUnavail
+		metrics["unavail_fraction"] = b.SysUnavail
+		metrics["analytic_obj_unavail"] = b.ObjUnavail
+		metrics["analytic_unavail_lower"] = b.ObjUnavailLower
+	}
 	metrics["analytic"] = 1
 	metrics["events"] = 0
+	if b.PeakKWFloor > 0 {
+		// A power-feasibility decision carries only the floor: the
+		// availability bounds were never computed (AvailValid false), so
+		// fabricating availability=1 here would archive the opposite of
+		// what the screen concluded.
+		metrics["analytic_peak_kw_floor"] = b.PeakKWFloor
+	}
 	return &RunResult{
 		Scenario: sc.Name,
 		Trials:   0,

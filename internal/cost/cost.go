@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hardware"
+	"repro/internal/power"
 )
 
 // PriceBook holds the economic constants.
@@ -41,6 +42,18 @@ type Breakdown struct {
 	EnergyUSD      float64 // power over the horizon
 	ReplacementUSD float64 // expected component replacements
 	HorizonHours   float64
+
+	// EnergyKWh is the facility energy behind EnergyUSD. It is the flat
+	// nameplate estimate from Estimate, or the simulated figure after
+	// WithMeasuredEnergy.
+	EnergyKWh float64
+	// CarbonKg is the energy's carbon footprint; populated by
+	// WithMeasuredEnergy (and by EstimateWithPower's flat estimate when
+	// a carbon intensity is configured).
+	CarbonKg float64
+	// EnergyMeasured reports that EnergyUSD/EnergyKWh came from a
+	// simulated power trace rather than the nameplate estimate.
+	EnergyMeasured bool
 }
 
 // TotalUSD returns the sum of all items.
@@ -102,6 +115,7 @@ func Estimate(cat *hardware.Catalog, cfg cluster.Config, book PriceBook, horizon
 	addSpec := func(sp hardware.Spec, count float64) {
 		b.CapexUSD += sp.CostUSD * count
 		kwh := sp.PowerWatts / 1000 * horizonHours * book.PUE
+		b.EnergyKWh += kwh * count
 		b.EnergyUSD += kwh * book.USDPerKWh * count
 		mttf := sp.TTF.Mean()
 		if mttf > 0 {
@@ -115,6 +129,68 @@ func Estimate(cat *hardware.Catalog, cfg cluster.Config, book PriceBook, horizon
 	// One ToR switch per rack plus one core switch.
 	addSpec(swSpec, float64(cfg.Racks)+1)
 	return b, nil
+}
+
+// EstimateWithPower prices a cluster plus its power delivery hierarchy:
+// the base Estimate, the PDU and UPS capex/replacement spend, and —
+// when the power config carries a carbon intensity — the flat carbon
+// estimate for the nameplate energy. Use WithMeasuredEnergy afterwards
+// to substitute simulated energy for the nameplate figure.
+func EstimateWithPower(cat *hardware.Catalog, cfg cluster.Config, pcfg power.Config, book PriceBook, horizonHours float64) (Breakdown, error) {
+	b, err := Estimate(cat, cfg, book, horizonHours)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if !pcfg.Enabled {
+		return b, nil
+	}
+	if err := pcfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	addHierarchy := func(specName string, kind hardware.Kind, count float64) error {
+		if count <= 0 || specName == "" {
+			return nil
+		}
+		sp, err := cat.Get(specName)
+		if err != nil {
+			return err
+		}
+		if sp.Kind != kind {
+			return fmt.Errorf("cost: spec %q is a %s, not a %s", specName, sp.Kind, kind)
+		}
+		b.CapexUSD += sp.CostUSD * count
+		if mttf := sp.TTF.Mean(); mttf > 0 {
+			b.ReplacementUSD += horizonHours / mttf * count * (sp.CostUSD + book.ReplacementLaborUSD)
+		}
+		return nil
+	}
+	// The clamp and spec default come from internal/power itself, so the
+	// priced hierarchy is exactly the simulated one.
+	pdus := pcfg.EffectivePDUs(cfg.Racks)
+	if err := addHierarchy(pcfg.EffectivePDUSpec(), hardware.KindPDU, float64(pdus)); err != nil {
+		return Breakdown{}, err
+	}
+	if err := addHierarchy(pcfg.UPSSpec, hardware.KindUPS, 1); err != nil {
+		return Breakdown{}, err
+	}
+	carbon := pcfg.CarbonKgPerKWh
+	if carbon == 0 {
+		carbon = power.DefaultCarbon
+	}
+	b.CarbonKg = b.EnergyKWh * carbon
+	return b, nil
+}
+
+// WithMeasuredEnergy replaces a breakdown's nameplate energy estimate
+// with a simulated facility energy figure (kWh, PUE already applied)
+// and reprices it, also refreshing the carbon footprint at the given
+// intensity.
+func WithMeasuredEnergy(b Breakdown, facilityKWh float64, carbonKgPerKWh float64, book PriceBook) Breakdown {
+	b.EnergyKWh = facilityKWh
+	b.EnergyUSD = facilityKWh * book.USDPerKWh
+	b.CarbonKg = facilityKWh * carbonKgPerKWh
+	b.EnergyMeasured = true
+	return b
 }
 
 // PerUserMonthlyUSD converts a breakdown into a per-user monthly price

@@ -1,10 +1,12 @@
 package cost
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/hardware"
+	"repro/internal/power"
 )
 
 func cfg() cluster.Config {
@@ -106,5 +108,84 @@ func TestPerUserMonthly(t *testing.T) {
 	}
 	if _, err := PerUserMonthlyUSD(b, 0); err == nil {
 		t.Error("0 users accepted")
+	}
+}
+
+func testClusterConfig() cluster.Config { return cfg() }
+
+func TestEstimateWithPowerAddsHierarchy(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	cfg := testClusterConfig()
+	book := DefaultPriceBook()
+	base, err := Estimate(cat, cfg, book, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EnergyKWh <= 0 {
+		t.Fatal("nameplate energy kWh not recorded")
+	}
+	pcfg := power.Config{Enabled: true, PDUs: 2, PDUSpec: "pdu-basic", UPSSpec: "ups-240kva"}
+	b, err := EstimateWithPower(cat, cfg, pcfg, book, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdu, _ := cat.Get("pdu-basic")
+	ups, _ := cat.Get("ups-240kva")
+	wantCapex := base.CapexUSD + 2*pdu.CostUSD + ups.CostUSD
+	if math.Abs(b.CapexUSD-wantCapex) > 1e-9 {
+		t.Errorf("capex = %v, want %v", b.CapexUSD, wantCapex)
+	}
+	if b.ReplacementUSD <= base.ReplacementUSD {
+		t.Error("hierarchy replacement spend missing")
+	}
+	if b.CarbonKg <= 0 {
+		t.Error("flat carbon estimate missing")
+	}
+	// Disabled power config must be a no-op.
+	off, err := EstimateWithPower(cat, cfg, power.Config{}, book, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != base {
+		t.Error("disabled power config changed the breakdown")
+	}
+	// PDU count clamps to the rack count.
+	many := pcfg
+	many.PDUs = 100
+	clamped, err := EstimateWithPower(cat, cfg, many, book, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClamped := base.CapexUSD + float64(cfg.Racks)*pdu.CostUSD + ups.CostUSD
+	if math.Abs(clamped.CapexUSD-wantClamped) > 1e-9 {
+		t.Errorf("clamped capex = %v, want %v", clamped.CapexUSD, wantClamped)
+	}
+	// Wrong-kind specs are rejected.
+	wrong := pcfg
+	wrong.PDUSpec = "ssd-sata"
+	if _, err := EstimateWithPower(cat, cfg, wrong, book, 8766); err == nil {
+		t.Error("disk spec accepted as a PDU")
+	}
+}
+
+func TestWithMeasuredEnergy(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	book := DefaultPriceBook()
+	b, err := Estimate(cat, testClusterConfig(), book, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := WithMeasuredEnergy(b, 1000, 0.5, book)
+	if !m.EnergyMeasured || m.EnergyKWh != 1000 {
+		t.Fatalf("measured energy not applied: %+v", m)
+	}
+	if m.EnergyUSD != 1000*book.USDPerKWh {
+		t.Errorf("energy USD = %v, want %v", m.EnergyUSD, 1000*book.USDPerKWh)
+	}
+	if m.CarbonKg != 500 {
+		t.Errorf("carbon = %v, want 500", m.CarbonKg)
+	}
+	if m.CapexUSD != b.CapexUSD || m.ReplacementUSD != b.ReplacementUSD {
+		t.Error("measured energy changed non-energy items")
 	}
 }

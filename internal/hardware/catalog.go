@@ -193,6 +193,29 @@ func DefaultCatalog() *Catalog {
 			TTF:    weibullFromAFRShape(0.025, 0.8),
 			Repair: lnRepair(4, 0.9),
 		},
+		// Power hierarchy (internal/power). PowerWatts is 0: conversion
+		// and distribution losses are charged through the PUE multiplier,
+		// not itemized per element. AFRs follow field observations that
+		// PDUs fail rarely but take whole rack groups with them, and that
+		// UPS electronics/battery strings fail more often than PDUs.
+		{
+			Name: "pdu-basic", Kind: KindPDU,
+			CostUSD: 2500, PowerWatts: 0,
+			TTF:    weibullFromAFRShape(0.012, 0.9),
+			Repair: lnRepair(8, 1.0),
+		},
+		{
+			Name: "pdu-redundant", Kind: KindPDU,
+			CostUSD: 6000, PowerWatts: 0,
+			TTF:    weibullFromAFRShape(0.004, 0.9),
+			Repair: lnRepair(8, 1.0),
+		},
+		{
+			Name: "ups-240kva", Kind: KindUPS,
+			CostUSD: 60000, PowerWatts: 0,
+			TTF:    weibullFromAFRShape(0.03, 0.9),
+			Repair: lnRepair(24, 1.0),
+		},
 	}
 	for _, sp := range specs {
 		if err := c.Add(sp); err != nil {

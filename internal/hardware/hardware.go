@@ -31,6 +31,10 @@ const (
 	KindMemory
 	KindSwitch
 	KindPSU
+	// Power-hierarchy elements (internal/power): rack/row power
+	// distribution units and facility UPSes.
+	KindPDU
+	KindUPS
 )
 
 var kindNames = map[Kind]string{
@@ -40,6 +44,8 @@ var kindNames = map[Kind]string{
 	KindMemory: "memory",
 	KindSwitch: "switch",
 	KindPSU:    "psu",
+	KindPDU:    "pdu",
+	KindUPS:    "ups",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,151 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Meter is the zero-allocation energy observer: it integrates per-node
+// electrical draw over simulated time into energy, peak power and
+// carbon. Node draw is piecewise constant — idle + (active-idle) ×
+// utilization × throttle while powered, zero while off — so the meter
+// only does O(1) arithmetic at each power-state transition and never
+// allocates after construction (enforced by TestMeterZeroAlloc and
+// BenchmarkPowerObserver).
+//
+// All facility-level figures (EnergyKWh, PeakKW, CarbonKg) apply the
+// PUE multiplier to IT power; ITEnergyKWh reports the raw IT share.
+type Meter struct {
+	pue     float64
+	carbon  float64 // kg CO2 per facility kWh
+	idleW   float64 // per-node idle draw, watts
+	activeW float64 // per-node active draw at utilization 1, watts
+
+	util     []float64 // per-node utilization in [0, 1]
+	on       []bool    // per-node powered state
+	nodeW    []float64 // per-node current draw
+	throttle float64   // 1 = uncapped; power cap scales the active share
+
+	watts    float64 // current total IT draw
+	peakW    float64 // max IT draw seen
+	energyWh float64 // integrated IT energy
+	lastT    sim.Time
+}
+
+// NewMeter builds a meter for n identical nodes whose active draw is
+// activeWatts, starting with every node powered at time now.
+func NewMeter(n int, activeWatts, idleFraction, utilization, pue, carbonKgPerKWh float64, now sim.Time) (*Meter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("power: meter needs >= 1 node, got %d", n)
+	}
+	if activeWatts < 0 {
+		return nil, fmt.Errorf("power: negative active draw %v", activeWatts)
+	}
+	m := &Meter{
+		pue:      pue,
+		carbon:   carbonKgPerKWh,
+		idleW:    activeWatts * idleFraction,
+		activeW:  activeWatts,
+		util:     make([]float64, n),
+		on:       make([]bool, n),
+		nodeW:    make([]float64, n),
+		throttle: 1,
+		lastT:    now,
+	}
+	for i := range m.on {
+		m.on[i] = true
+		m.util[i] = utilization
+		w := m.draw(i)
+		m.nodeW[i] = w
+		m.watts += w
+	}
+	m.peakW = m.watts
+	return m, nil
+}
+
+// draw computes node i's current wattage from its state.
+func (m *Meter) draw(i int) float64 {
+	if !m.on[i] {
+		return 0
+	}
+	return m.idleW + (m.activeW-m.idleW)*m.util[i]*m.throttle
+}
+
+// accumulate banks energy at the current draw up to now.
+func (m *Meter) accumulate(now sim.Time) {
+	if now > m.lastT {
+		m.energyWh += m.watts * (now - m.lastT)
+		m.lastT = now
+	}
+}
+
+// setNodeWatts swaps node i's contribution to the running total.
+func (m *Meter) setNodeWatts(i int, w float64) {
+	m.watts += w - m.nodeW[i]
+	m.nodeW[i] = w
+	if m.watts > m.peakW {
+		m.peakW = m.watts
+	}
+}
+
+// SetNodeOn records node i's powered state as of time now. Setting the
+// current state again is a no-op.
+func (m *Meter) SetNodeOn(now sim.Time, i int, on bool) {
+	if m.on[i] == on {
+		return
+	}
+	m.accumulate(now)
+	m.on[i] = on
+	m.setNodeWatts(i, m.draw(i))
+}
+
+// SetUtilization records node i's utilization (in [0, 1]) as of now —
+// the coupling point for workload-driven draw.
+func (m *Meter) SetUtilization(now sim.Time, i int, u float64) error {
+	if u < 0 || u > 1 {
+		return fmt.Errorf("power: utilization %v outside [0, 1]", u)
+	}
+	m.accumulate(now)
+	m.util[i] = u
+	m.setNodeWatts(i, m.draw(i))
+	return nil
+}
+
+// SetThrottle applies a facility-wide throttle factor (1 = uncapped) to
+// the active share of every node's draw, as of now. O(nodes).
+func (m *Meter) SetThrottle(now sim.Time, factor float64) {
+	if factor == m.throttle {
+		return
+	}
+	m.accumulate(now)
+	m.throttle = factor
+	for i := range m.nodeW {
+		m.setNodeWatts(i, m.draw(i))
+	}
+}
+
+// Finalize banks energy up to now. Further transitions may follow; the
+// meter remains usable.
+func (m *Meter) Finalize(now sim.Time) { m.accumulate(now) }
+
+// ResetPeak re-bases the peak tracker to the current draw. Attach uses
+// it when a power cap is active from time zero, so the reported peak is
+// the capped trajectory's, not the zero-duration uncapped instant the
+// meter was constructed at.
+func (m *Meter) ResetPeak() { m.peakW = m.watts }
+
+// ITEnergyKWh returns the integrated IT energy (no PUE).
+func (m *Meter) ITEnergyKWh() float64 { return m.energyWh / 1000 }
+
+// EnergyKWh returns the facility energy: IT energy times PUE.
+func (m *Meter) EnergyKWh() float64 { return m.energyWh / 1000 * m.pue }
+
+// PeakKW returns the peak facility power draw observed.
+func (m *Meter) PeakKW() float64 { return m.peakW / 1000 * m.pue }
+
+// PUE returns the configured power usage effectiveness.
+func (m *Meter) PUE() float64 { return m.pue }
+
+// CarbonKg returns the carbon footprint of the facility energy so far.
+func (m *Meter) CarbonKg() float64 { return m.EnergyKWh() * m.carbon }

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestMeterIntegration checks the piecewise-constant energy integral,
+// peak tracking and the PUE/carbon multipliers against hand-computed
+// values.
+func TestMeterIntegration(t *testing.T) {
+	// 2 nodes x 100 W active, idle fraction 0.5, utilization 0.5,
+	// PUE 2, carbon 0.5 kg/kWh. Per-node draw on: 50 + 50*0.5 = 75 W.
+	m, err := NewMeter(2, 100, 0.5, 0.5, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0, 10): both on, 150 W.
+	m.SetNodeOn(10, 0, false)
+	// [10, 20): one on, 75 W.
+	m.SetNodeOn(20, 0, true)
+	// [20, 30): both on again.
+	m.Finalize(30)
+
+	itWh := 150*10.0 + 75*10 + 150*10
+	almost(t, "it_energy_kwh", m.ITEnergyKWh(), itWh/1000)
+	almost(t, "energy_kwh", m.EnergyKWh(), 2*itWh/1000)
+	almost(t, "peak_kw", m.PeakKW(), 2*150.0/1000)
+	almost(t, "carbon_kg", m.CarbonKg(), 2*itWh/1000*0.5)
+	almost(t, "pue", m.PUE(), 2)
+}
+
+// TestMeterUtilizationAndThrottle checks the utilization coupling and
+// the cap throttle: the throttle scales only the active share, never
+// the idle floor.
+func TestMeterUtilizationAndThrottle(t *testing.T) {
+	m, err := NewMeter(1, 100, 0.4, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full utilization: 100 W for 10 h.
+	if err := m.SetUtilization(10, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// util 0.5: 40 + 60*0.5 = 70 W for 10 h.
+	m.SetThrottle(20, 0.5)
+	// throttled: 40 + 60*0.5*0.5 = 55 W for 10 h.
+	m.Finalize(30)
+	almost(t, "it_energy_kwh", m.ITEnergyKWh(), (100*10.0+70*10+55*10)/1000)
+
+	if err := m.SetUtilization(30, 0, 2); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+}
+
+// TestMeterIdempotentTransitions: re-setting the current state must not
+// move energy or peak.
+func TestMeterIdempotentTransitions(t *testing.T) {
+	m, err := NewMeter(3, 100, 0.45, 0.3, 1.5, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetNodeOn(5, 1, false)
+	e1 := m.ITEnergyKWh()
+	m.SetNodeOn(5, 1, false) // same state, same time
+	if m.ITEnergyKWh() != e1 {
+		t.Fatal("idempotent transition moved the energy integral")
+	}
+}
+
+// TestMeterZeroAlloc enforces the zero-allocation contract of the
+// observer's per-event path (the CI benchmark BenchmarkPowerObserver
+// tracks the same property as ns/op + allocs/op).
+func TestMeterZeroAlloc(t *testing.T) {
+	m, err := NewMeter(64, 100, 0.45, 0.3, 1.5, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 1.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.SetNodeOn(now, 7, false)
+		m.SetNodeOn(now+0.5, 7, true)
+		if err := m.SetUtilization(now+0.7, 8, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		m.Finalize(now + 1)
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("power observer allocates %v per transition batch, want 0", allocs)
+	}
+}

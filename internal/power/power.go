@@ -1,0 +1,194 @@
+// Package power models the electrical half of a data center: the power
+// delivery hierarchy (utility feed → UPS/generator → PDUs → racks),
+// per-node energy draw, and power capping.
+//
+// The paper frames the wind tunnel as answering *every* what-if a
+// designer has before buying hardware — availability, durability,
+// performance and cost. Real TCO is dominated by energy, and real
+// correlated outages by the power hierarchy, so this package adds both
+// as first-class simulation state:
+//
+//   - Hierarchy: each PDU is a hardware.Component whose failure takes
+//     down exactly the racks it feeds (a second, nested correlated
+//     failure domain layered on internal/cluster's generic Domain
+//     mechanism); a utility outage exercises UPS battery ride-through
+//     and generator start, and only becomes a facility blackout when
+//     both fall short.
+//   - Energy: a zero-allocation observer integrates per-node draw
+//     (active/idle/off, scaled by utilization) over simulated time into
+//     kWh, peak kW and carbon, with a PUE multiplier for cooling and
+//     distribution overhead — feeding internal/cost so TCO comparisons
+//     become energy-aware.
+//   - Capping: a power-cap window throttles per-node service rates
+//     (access-link capacity, and sim.Station speeds via the public
+//     throttle factor) so queries can ask "what availability and
+//     latency do I keep during a 20% power cap?".
+//
+// Everything is opt-in: a zero Config is valid and disabled, and an
+// attached system draws only from "power/..." named streams, so the
+// default simulation path is byte-for-byte unchanged.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Config declares a scenario's power model. The zero value is valid and
+// disabled. All fields are output-determining once Enabled is set and
+// must be covered by core.CacheKey.
+type Config struct {
+	// Enabled turns the subsystem on.
+	Enabled bool
+
+	// PDUs is the number of power distribution units; racks are assigned
+	// contiguously (rack r feeds from PDU r*PDUs/racks, clamped to one
+	// PDU per rack when PDUs > racks). 0 disables PDU failure domains.
+	PDUs int
+	// PDUSpec is the catalog spec driving each PDU's failure/repair
+	// lifecycle (default "pdu-basic").
+	PDUSpec string
+	// UPSSpec, when non-empty, drives a UPS component lifecycle; while
+	// the UPS is failed, utility outages hit with zero ride-through.
+	UPSSpec string
+
+	// UtilityTTF/UtilityRepair model the utility feed: time between
+	// outages and outage durations (hours). Nil disables utility outages.
+	UtilityTTF    dist.Dist
+	UtilityRepair dist.Dist
+	// UPSMinutes is the battery ride-through window during a utility
+	// outage.
+	UPSMinutes float64
+	// GeneratorStartProb is the probability the backup generator starts
+	// on demand; GeneratorStartHours is its start (and transfer) delay.
+	GeneratorStartProb  float64
+	GeneratorStartHours float64
+
+	// IdleFraction is a node's idle draw as a fraction of its active
+	// draw (spec PowerWatts); default 0.45.
+	IdleFraction float64
+	// Utilization is the mean node utilization driving the draw between
+	// idle and active; default 0.30. Workload-coupled simulations can
+	// override per node via Meter.SetUtilization.
+	Utilization float64
+	// PUE is the power usage effectiveness multiplier applied to IT
+	// power for facility energy and peak; default 1.5.
+	PUE float64
+	// CarbonKgPerKWh is the grid carbon intensity; default 0.40.
+	CarbonKgPerKWh float64
+
+	// CapFraction, when > 0, enables a power cap that throttles node
+	// service rates and active draw by (1 - CapFraction) during the
+	// window [CapStartHours, CapStartHours+CapDurationHours). A zero
+	// CapDurationHours caps to the end of the horizon.
+	CapFraction      float64
+	CapStartHours    float64
+	CapDurationHours float64
+}
+
+// Defaults for the energy model, applied by normalized().
+const (
+	DefaultIdleFraction = 0.45
+	DefaultUtilization  = 0.30
+	DefaultPUE          = 1.5
+	DefaultCarbon       = 0.40 // kg CO2 per kWh, a 2014-era grid mix
+	DefaultPDUSpec      = "pdu-basic"
+)
+
+// Validate checks the configuration. A disabled config is always valid.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.PDUs < 0 {
+		return fmt.Errorf("power: PDUs must be >= 0, got %d", c.PDUs)
+	}
+	if (c.UtilityTTF == nil) != (c.UtilityRepair == nil) {
+		return fmt.Errorf("power: UtilityTTF and UtilityRepair must both be set or both nil")
+	}
+	if c.UPSMinutes < 0 {
+		return fmt.Errorf("power: UPSMinutes must be >= 0, got %v", c.UPSMinutes)
+	}
+	if c.GeneratorStartProb < 0 || c.GeneratorStartProb > 1 {
+		return fmt.Errorf("power: GeneratorStartProb %v outside [0, 1]", c.GeneratorStartProb)
+	}
+	if c.GeneratorStartHours < 0 {
+		return fmt.Errorf("power: GeneratorStartHours must be >= 0, got %v", c.GeneratorStartHours)
+	}
+	if c.IdleFraction < 0 || c.IdleFraction > 1 {
+		return fmt.Errorf("power: IdleFraction %v outside [0, 1]", c.IdleFraction)
+	}
+	if c.Utilization < 0 || c.Utilization > 1 {
+		return fmt.Errorf("power: Utilization %v outside [0, 1]", c.Utilization)
+	}
+	if c.PUE != 0 && c.PUE < 1 {
+		return fmt.Errorf("power: PUE %v below 1", c.PUE)
+	}
+	if c.CarbonKgPerKWh < 0 {
+		return fmt.Errorf("power: CarbonKgPerKWh must be >= 0, got %v", c.CarbonKgPerKWh)
+	}
+	if c.CapFraction < 0 || c.CapFraction >= 1 {
+		return fmt.Errorf("power: CapFraction %v outside [0, 1)", c.CapFraction)
+	}
+	if c.CapStartHours < 0 || c.CapDurationHours < 0 {
+		return fmt.Errorf("power: cap window must be non-negative, got start %v duration %v",
+			c.CapStartHours, c.CapDurationHours)
+	}
+	return nil
+}
+
+// EffectivePDUs returns the PDU count actually instantiated for a
+// cluster of `racks` racks: at most one PDU per rack. The simulation
+// (System.buildPDUs) and the cost model (cost.EstimateWithPower) both
+// use this, so the priced hierarchy is definitionally the simulated
+// one.
+func (c Config) EffectivePDUs(racks int) int {
+	if c.PDUs > racks {
+		return racks
+	}
+	return c.PDUs
+}
+
+// EffectivePDUSpec returns the catalog spec PDUs are built from (the
+// documented default when unset).
+func (c Config) EffectivePDUSpec() string {
+	if c.PDUSpec == "" {
+		return DefaultPDUSpec
+	}
+	return c.PDUSpec
+}
+
+// IdleFloorKW returns the facility power floor for nodes machines at
+// the config's idle draw: the minimum conceivable facility draw while
+// every node is powered (the cap throttles only the active share, so
+// the idle floor is throttle-invariant). Analytic power-feasibility
+// screening (internal/core) fails a power-budget SLA below this floor
+// without simulating.
+func (c Config) IdleFloorKW(nodes int, activeWattsPerNode float64) float64 {
+	n := c.normalized()
+	return float64(nodes) * activeWattsPerNode * n.IdleFraction * n.PUE / 1000
+}
+
+// normalized fills the zero-valued energy-model fields with their
+// documented defaults. Fingerprinting (core.CacheKey) uses the raw
+// fields — a zero and its explicit default key differently, which costs
+// at most a cache miss, never staleness.
+func (c Config) normalized() Config {
+	if c.IdleFraction == 0 {
+		c.IdleFraction = DefaultIdleFraction
+	}
+	if c.Utilization == 0 {
+		c.Utilization = DefaultUtilization
+	}
+	if c.PUE == 0 {
+		c.PUE = DefaultPUE
+	}
+	if c.CarbonKgPerKWh == 0 {
+		c.CarbonKgPerKWh = DefaultCarbon
+	}
+	if c.PDUSpec == "" {
+		c.PDUSpec = DefaultPDUSpec
+	}
+	return c
+}

@@ -132,11 +132,25 @@ func (m *Manager) Start() {
 	})
 }
 
+// destroyed reports whether node id's data is gone: the node itself is
+// down. A node that is merely unreachable — its ToR, PDU or the whole
+// facility's power failed — still holds its shards and serves them
+// again on restore, so loss decisions must never use reachability
+// (otherwise one facility blackout would "lose" every object).
+func (m *Manager) destroyed(id int) bool { return !m.clst.Nodes()[id].Up() }
+
 // onNodeDown schedules repairs for every shard on the dead node.
 func (m *Manager) onNodeDown(nodeID int) {
 	m.updateUnavailability()
+	if !m.destroyed(nodeID) {
+		// Reachability-only transition (ToR/PDU/utility domain outage):
+		// the node's data is intact and serves again on restore, so
+		// there is nothing to detect or re-replicate. Skipping here
+		// keeps a facility blackout from queueing (and then dropping)
+		// one task per shard in the whole data center.
+		return
+	}
 	objs := m.store.ObjectsOn(nodeID)
-	down := func(id int) bool { return !m.clst.Available(id) }
 	delay := 0.0
 	if m.cfg.Detection != nil {
 		delay = m.cfg.Detection.Sample(m.sim.Stream("repair-detect"))
@@ -146,7 +160,7 @@ func (m *Manager) onNodeDown(nodeID int) {
 		if m.lost[obj.ID] {
 			continue
 		}
-		if m.store.Lost(obj, down) {
+		if m.store.Lost(obj, m.destroyed) {
 			m.lost[obj.ID] = true
 			m.lostCount++
 			continue
@@ -177,26 +191,31 @@ func (m *Manager) pump() {
 // (already healthy, lost, or no valid source/target).
 func (m *Manager) startRepair(t task) bool {
 	down := func(id int) bool { return !m.clst.Available(id) }
-	// Skip if the shard's node recovered or the object is gone.
+	// Skip if the shard's node recovered or the object is gone. The
+	// "still missing" test is about data (node-local state): a shard on
+	// a merely-unreachable node needs no re-replication.
 	if m.lost[t.obj.ID] {
 		return false
 	}
 	stillMissing := false
 	for _, loc := range t.obj.Locations {
 		if loc == t.from {
-			stillMissing = down(t.from)
+			stillMissing = m.destroyed(t.from)
 		}
 	}
 	if !stillMissing {
 		return false
 	}
-	if m.store.Lost(t.obj, down) {
+	if m.store.Lost(t.obj, m.destroyed) {
 		m.lost[t.obj.ID] = true
 		m.lostCount++
 		return false
 	}
 	src := m.pickSource(t.obj, down)
 	if src < 0 {
+		// Survivors exist but none is reachable right now (a correlated
+		// domain outage): requeue for the next cluster event.
+		m.queue = append(m.queue, t)
 		return false
 	}
 	dst := m.pickTarget(t.obj, down)
@@ -238,12 +257,11 @@ func (m *Manager) startRepair(t task) bool {
 
 // finishRepair commits a completed transfer.
 func (m *Manager) finishRepair(t task, dst int, size float64) {
-	down := func(id int) bool { return !m.clst.Available(id) }
 	if m.lost[t.obj.ID] {
 		return
 	}
 	// The source data survived the transfer window?
-	if m.store.Lost(t.obj, down) {
+	if m.store.Lost(t.obj, m.destroyed) {
 		m.lost[t.obj.ID] = true
 		m.lostCount++
 		return

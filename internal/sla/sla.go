@@ -196,6 +196,93 @@ func (l Latency) Check(r Result) (Verdict, error) {
 	}, nil
 }
 
+// PowerBudget bounds the facility's peak power draw: peak_kw <= MaxKW.
+// It is the capacity-planning constraint of a power-limited site — a
+// design whose peak exceeds the provisioned feed is infeasible no
+// matter how available it is.
+type PowerBudget struct {
+	MetricName string // defaults to "peak_kw"
+	MaxKW      float64
+}
+
+// NewPowerBudget validates and constructs the SLA.
+func NewPowerBudget(maxKW float64) (PowerBudget, error) {
+	if maxKW <= 0 {
+		return PowerBudget{}, fmt.Errorf("sla: power budget %v must be positive", maxKW)
+	}
+	return PowerBudget{MaxKW: maxKW}, nil
+}
+
+func (p PowerBudget) metric() string {
+	if p.MetricName != "" {
+		return p.MetricName
+	}
+	return "peak_kw"
+}
+
+// Name implements SLA.
+func (p PowerBudget) Name() string {
+	return fmt.Sprintf("peak power <= %v kW", p.MaxKW)
+}
+
+// Check implements SLA.
+func (p PowerBudget) Check(r Result) (Verdict, error) {
+	obs, err := r.Metric(p.metric())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		SLA: p.Name(), Met: obs <= p.MaxKW,
+		Observed: obs, Target: p.MaxKW, Margin: p.MaxKW - obs,
+	}, nil
+}
+
+// EnergyCost caps the energy bill over the simulated horizon: the
+// "energy cost ceiling" form of an energy-aware SLA. It prices the
+// simulated facility energy ("energy_kwh") at USDPerKWh and requires
+// the result to stay at or under MaxUSD.
+type EnergyCost struct {
+	MetricName string  // defaults to "energy_kwh"
+	MaxUSD     float64 // ceiling on the horizon's energy spend
+	USDPerKWh  float64 // electricity price
+}
+
+// NewEnergyCost validates and constructs the SLA.
+func NewEnergyCost(maxUSD, usdPerKWh float64) (EnergyCost, error) {
+	if maxUSD <= 0 {
+		return EnergyCost{}, fmt.Errorf("sla: energy cost ceiling %v must be positive", maxUSD)
+	}
+	if usdPerKWh <= 0 {
+		return EnergyCost{}, fmt.Errorf("sla: energy price %v must be positive", usdPerKWh)
+	}
+	return EnergyCost{MaxUSD: maxUSD, USDPerKWh: usdPerKWh}, nil
+}
+
+func (e EnergyCost) metric() string {
+	if e.MetricName != "" {
+		return e.MetricName
+	}
+	return "energy_kwh"
+}
+
+// Name implements SLA.
+func (e EnergyCost) Name() string {
+	return fmt.Sprintf("energy cost <= $%v at $%v/kWh", e.MaxUSD, e.USDPerKWh)
+}
+
+// Check implements SLA.
+func (e EnergyCost) Check(r Result) (Verdict, error) {
+	kwh, err := r.Metric(e.metric())
+	if err != nil {
+		return Verdict{}, err
+	}
+	obs := kwh * e.USDPerKWh
+	return Verdict{
+		SLA: e.Name(), Met: obs <= e.MaxUSD,
+		Observed: obs, Target: e.MaxUSD, Margin: e.MaxUSD - obs,
+	}, nil
+}
+
 // TenantDistribution is an SLA expressed as a distribution over tenants
 // (§4.1: "the user may need to specify a required SLA as a distribution"):
 // at least Fraction of per-tenant values must satisfy the inner predicate

@@ -206,3 +206,53 @@ func TestVerdictString(t *testing.T) {
 		t.Error("empty verdict string")
 	}
 }
+
+func TestPowerBudget(t *testing.T) {
+	if _, err := NewPowerBudget(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	s, err := NewPowerBudget(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MapResult{Metrics: map[string]float64{"peak_kw": 42}}
+	v, err := s.Check(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Met || v.Observed != 42 || v.Margin != 8 {
+		t.Errorf("verdict %+v", v)
+	}
+	res.Metrics["peak_kw"] = 60
+	if v, _ := s.Check(res); v.Met {
+		t.Error("over-budget peak passed")
+	}
+	if _, err := s.Check(MapResult{Metrics: map[string]float64{}}); err == nil {
+		t.Error("missing peak_kw metric not an error")
+	}
+}
+
+func TestEnergyCost(t *testing.T) {
+	if _, err := NewEnergyCost(0, 0.1); err == nil {
+		t.Error("zero ceiling accepted")
+	}
+	if _, err := NewEnergyCost(100, 0); err == nil {
+		t.Error("zero price accepted")
+	}
+	s, err := NewEnergyCost(100, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 900 kWh x $0.10 = $90 <= $100.
+	v, err := s.Check(MapResult{Metrics: map[string]float64{"energy_kwh": 900}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Met || v.Observed != 90 {
+		t.Errorf("verdict %+v", v)
+	}
+	// 1100 kWh x $0.10 = $110 > $100.
+	if v, _ := s.Check(MapResult{Metrics: map[string]float64{"energy_kwh": 1100}}); v.Met {
+		t.Error("over-ceiling energy cost passed")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/design"
 	"repro/internal/dist"
 	"repro/internal/hardware"
+	"repro/internal/power"
 	"repro/internal/repair"
 	"repro/internal/results"
 	"repro/internal/sla"
@@ -155,6 +156,83 @@ var paramAppliers = map[string]applier{
 		}
 		return nil
 	},
+	// power.* parameters configure the power subsystem (internal/power).
+	// Setting any of them (except an explicit power.enabled = FALSE)
+	// enables it, so `VARY power.cap IN (0, 0.1, 0.2)` works without
+	// ceremony. All of them are output-determining cache-key inputs.
+	"power.enabled": func(sc *core.Scenario, v any) error {
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("wtql: power.enabled wants TRUE or FALSE, got %v", v)
+		}
+		sc.Power.Enabled = b
+		return nil
+	},
+	"power.pdus": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setInt(&sc.Power.PDUs, v, "power.pdus")
+	},
+	"power.pdu_spec": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setSpec(&sc.Power.PDUSpec, v, "power.pdu_spec")
+	},
+	"power.ups_spec": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setSpec(&sc.Power.UPSSpec, v, "power.ups_spec")
+	},
+	"power.utility_ttf": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setDist(&sc.Power.UtilityTTF, v, "power.utility_ttf")
+	},
+	"power.utility_repair": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setDist(&sc.Power.UtilityRepair, v, "power.utility_repair")
+	},
+	"power.ups_minutes": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setNonNegFloat(&sc.Power.UPSMinutes, v, "power.ups_minutes")
+	},
+	"power.generator_start_prob": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setFraction(&sc.Power.GeneratorStartProb, v, "power.generator_start_prob", true)
+	},
+	"power.generator_start_hours": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setNonNegFloat(&sc.Power.GeneratorStartHours, v, "power.generator_start_hours")
+	},
+	"power.idle_fraction": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setFraction(&sc.Power.IdleFraction, v, "power.idle_fraction", true)
+	},
+	"power.utilization": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setFraction(&sc.Power.Utilization, v, "power.utilization", true)
+	},
+	"power.pue": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		f, ok := toFloat(v)
+		if !ok || f < 1 {
+			return fmt.Errorf("wtql: power.pue wants a number >= 1, got %v", v)
+		}
+		sc.Power.PUE = f
+		return nil
+	},
+	"power.carbon_intensity": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setNonNegFloat(&sc.Power.CarbonKgPerKWh, v, "power.carbon_intensity")
+	},
+	"power.cap": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setFraction(&sc.Power.CapFraction, v, "power.cap", false)
+	},
+	"power.cap_start_hours": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setNonNegFloat(&sc.Power.CapStartHours, v, "power.cap_start_hours")
+	},
+	"power.cap_duration_hours": func(sc *core.Scenario, v any) error {
+		sc.Power.Enabled = true
+		return setNonNegFloat(&sc.Power.CapDurationHours, v, "power.cap_duration_hours")
+	},
 	"users": func(sc *core.Scenario, v any) error {
 		return setInt(&sc.Users, v, "users")
 	},
@@ -210,6 +288,30 @@ func setDist(dst *dist.Dist, v any, name string) error {
 		return fmt.Errorf("wtql: %s: %w", name, err)
 	}
 	*dst = d
+	return nil
+}
+
+func setNonNegFloat(dst *float64, v any, name string) error {
+	f, ok := toFloat(v)
+	if !ok || f < 0 {
+		return fmt.Errorf("wtql: %s wants a non-negative number, got %v", name, v)
+	}
+	*dst = f
+	return nil
+}
+
+// setFraction parses a value in [0, 1]; closed=false excludes 1 (the
+// power-cap fraction must leave some service rate).
+func setFraction(dst *float64, v any, name string, closed bool) error {
+	f, ok := toFloat(v)
+	if !ok || f < 0 || f > 1 || (!closed && f == 1) {
+		hi := "1"
+		if !closed {
+			hi = "1 (exclusive)"
+		}
+		return fmt.Errorf("wtql: %s wants a number in [0, %s], got %v", name, hi, v)
+	}
+	*dst = f
 	return nil
 }
 
@@ -302,6 +404,17 @@ type Engine struct {
 	// FailureBias > 1 enables failure-biased importance sampling (`SET
 	// runner.failure_bias = b`).
 	FailureBias float64
+	// PowerCap, when set (`SET power.cap = 0.2`), enables the power
+	// subsystem with that cap fraction on every query's base scenario;
+	// WITH power.cap overrides per query. Zero disables the session cap.
+	PowerCap    float64
+	PowerCapSet bool
+	// CarbonIntensity, when set (`SET power.carbon_intensity = 0.4`),
+	// overrides the grid carbon intensity (kg CO2 per kWh) of every
+	// query's base scenario. It only affects output when the power
+	// subsystem is enabled.
+	CarbonIntensity    float64
+	CarbonIntensitySet bool
 	// Cache, when non-nil, memoizes completed trial statistics by
 	// content address so overlapping sweeps — across queries and, with a
 	// disk-backed cache, across sessions — reuse results instead of
@@ -396,6 +509,20 @@ func (e *Engine) applySetting(a Assign) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("%g", e.FailureBias), nil
+	case "power.cap":
+		f, ok := toFloat(a.Value)
+		if !ok || f < 0 || f >= 1 {
+			return "", fmt.Errorf("wtql: power.cap wants a number in [0, 1), got %v", a.Value)
+		}
+		e.PowerCap = f
+		e.PowerCapSet = true
+		return fmt.Sprintf("%g", e.PowerCap), nil
+	case "power.carbon_intensity":
+		if err := num(&e.CarbonIntensity, 0); err != nil {
+			return "", err
+		}
+		e.CarbonIntensitySet = true
+		return fmt.Sprintf("%g", e.CarbonIntensity), nil
 	default:
 		return "", fmt.Errorf("wtql: unknown setting %q in SET", a.Param)
 	}
@@ -467,6 +594,15 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 	}
 
 	base := core.DefaultScenario()
+	// Session-level power settings apply to the base scenario before the
+	// per-query WITH overlay (WITH wins).
+	if e.PowerCapSet && e.PowerCap > 0 {
+		base.Power.Enabled = true
+		base.Power.CapFraction = e.PowerCap
+	}
+	if e.CarbonIntensitySet {
+		base.Power.CarbonKgPerKWh = e.CarbonIntensity
+	}
 	for _, a := range q.With {
 		var err error
 		switch a.Param {
@@ -527,11 +663,17 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 		return nil, err
 	}
 
-	// WHERE splits into SLA-checkable constraints on 'sla.availability'
-	// (registered so pruning can use failures) plus a general post-filter.
+	// WHERE splits into SLA-checkable constraints — 'sla.availability'
+	// and 'peak_kw' conjuncts, registered so pruning and screening can
+	// use failures — plus a general post-filter. peak_kw conjuncts are
+	// lifted only when the query enables the power subsystem (the metric
+	// does not exist otherwise).
 	var slas []sla.SLA
 	if q.Where != nil {
 		slas = extractAvailabilitySLAs(q.Where)
+		if base.Power.Enabled {
+			slas = append(slas, extractPowerBudgetSLAs(q.Where)...)
+		}
 	}
 
 	book := cost.DefaultPriceBook()
@@ -558,9 +700,11 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 		Progress: e.Progress,
 	}
 	// Screening is sound for this query only when the WHERE filter is
-	// exactly the availability conjunction the screen can decide; other
+	// exactly the conjunction the screen can decide — availability
+	// lower bounds plus (only when the power subsystem is on, so the
+	// budgets are actually lifted into SLAs) peak_kw budgets; other
 	// filters fall back to full simulation (nothing is skipped).
-	if screen && q.Where != nil && availabilityOnlyWhere(q.Where) {
+	if screen && q.Where != nil && screenableWhere(q.Where, base.Power.Enabled) {
 		margin := screenMargin
 		if !screenMarginSet {
 			margin = core.DefaultScreenMargin
@@ -593,16 +737,27 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 		for k, v := range out.Result.Metrics {
 			row.Metrics[k] = v
 		}
-		// Cost metrics come from the pricing model, not the simulation.
+		// Cost metrics come from the pricing model, not the simulation —
+		// except energy: with the power subsystem enabled, the simulated
+		// facility kWh replaces the nameplate estimate, making cost.total
+		// (and the $/9-of-availability frontier) energy-aware.
 		sc := base
 		for name, v := range out.Point.Assignments() {
 			if err := paramAppliers[name](&sc, any(v)); err != nil {
 				return nil, err
 			}
 		}
-		breakdown, err := cost.Estimate(hardware.DefaultCatalog(), sc.Cluster, book, sc.HorizonHours)
+		breakdown, err := cost.EstimateWithPower(hardware.DefaultCatalog(), sc.Cluster, sc.Power, book, sc.HorizonHours)
 		if err != nil {
 			return nil, err
+		}
+		if kwh, ok := row.Metrics["energy_kwh"]; ok {
+			carbon := sc.Power.CarbonKgPerKWh
+			if carbon == 0 {
+				carbon = power.DefaultCarbon
+			}
+			breakdown = cost.WithMeasuredEnergy(breakdown, kwh, carbon, book)
+			row.Metrics["cost.energy"] = breakdown.EnergyUSD
 		}
 		row.Metrics["cost.total"] = breakdown.TotalUSD()
 		row.Metrics["cost.capex"] = breakdown.CapexUSD
@@ -614,9 +769,10 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 		passed := true
 		if out.Screened {
 			// A screened row was decided by the analytic bounds against
-			// the lifted availability SLAs — exactly the WHERE filter
-			// (screening is only enabled for availability-only WHERE
-			// trees) — so the decision IS the filter answer.
+			// the lifted SLAs — exactly the WHERE filter (screening is
+			// only enabled when every WHERE conjunct is lifted:
+			// availability always, peak_kw only with power enabled) —
+			// so the decision IS the filter answer.
 			passed = out.AllMet
 		} else if q.Where != nil {
 			passed, err = evalExpr(q.Where, row)
@@ -675,15 +831,23 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 	return rs, nil
 }
 
-// availabilityOnlyWhere reports whether the WHERE tree is exactly a
-// conjunction of `sla.availability >= x` (or `>`) comparisons — the
-// shape the analytic screen can decide in full.
-func availabilityOnlyWhere(e Expr) bool {
+// screenableWhere reports whether the WHERE tree is exactly a
+// conjunction of comparisons the analytic screen can decide:
+// `sla.availability >= x` (or `>`) and — only when allowPeak, i.e. the
+// query's power subsystem is enabled so peak_kw budgets are lifted into
+// SLAs — `peak_kw <= x` (or `<`). Without allowPeak a peak_kw conjunct
+// makes the filter unscreenable, so the point simulates and the
+// post-filter reports the unknown metric loudly instead of a screened
+// pass silently skipping the condition.
+func screenableWhere(e Expr, allowPeak bool) bool {
 	switch x := e.(type) {
 	case BinaryExpr:
-		return x.Op == "AND" && availabilityOnlyWhere(x.Left) && availabilityOnlyWhere(x.Right)
+		return x.Op == "AND" && screenableWhere(x.Left, allowPeak) && screenableWhere(x.Right, allowPeak)
 	case CompareExpr:
-		return x.Ident == "sla.availability" && (x.Op == ">=" || x.Op == ">")
+		if x.Ident == "sla.availability" && (x.Op == ">=" || x.Op == ">") {
+			return true
+		}
+		return allowPeak && x.Ident == "peak_kw" && (x.Op == "<=" || x.Op == "<")
 	}
 	return false
 }
@@ -703,6 +867,32 @@ func extractAvailabilitySLAs(e Expr) []sla.SLA {
 			if f, ok := toFloat(x.Value); ok {
 				if a, err := sla.NewAvailability(f); err == nil {
 					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// extractPowerBudgetSLAs lifts `peak_kw <= x` conjuncts out of the
+// WHERE tree so the explorer's power-feasibility screen (and pruning)
+// sees the budget. Note that the peak_kw response is typically
+// anti-monotone in cluster size: declaring MONOTONE dimensions together
+// with a power budget is the query author's assertion, exactly as it is
+// for availability.
+func extractPowerBudgetSLAs(e Expr) []sla.SLA {
+	var out []sla.SLA
+	switch x := e.(type) {
+	case BinaryExpr:
+		if x.Op == "AND" {
+			out = append(out, extractPowerBudgetSLAs(x.Left)...)
+			out = append(out, extractPowerBudgetSLAs(x.Right)...)
+		}
+	case CompareExpr:
+		if x.Ident == "peak_kw" && (x.Op == "<=" || x.Op == "<") {
+			if f, ok := toFloat(x.Value); ok {
+				if b, err := sla.NewPowerBudget(f); err == nil {
+					out = append(out, b)
 				}
 			}
 		}
@@ -797,13 +987,20 @@ func compareFloats(a float64, op string, b float64) (bool, error) {
 }
 
 // columnsFor picks the display columns: varied dimensions, then the
-// simulated metric, cost and the ORDER BY key.
+// simulated metric, cost, the power/energy pair when the sweep
+// simulated it, and the ORDER BY key.
 func columnsFor(q *Query, rows []Row) []string {
 	var cols []string
 	for _, vc := range q.Vary {
 		cols = append(cols, vc.Param)
 	}
 	cols = append(cols, "availability", "loss_prob", "cost.total")
+	for _, r := range rows {
+		if _, ok := r.Metrics["energy_kwh"]; ok {
+			cols = append(cols, "energy_kwh", "peak_kw")
+			break
+		}
+	}
 	if q.OrderBy != "" {
 		found := false
 		for _, c := range cols {

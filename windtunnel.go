@@ -114,3 +114,13 @@ func AvailabilitySLA(min float64) (SLA, error) { return sla.NewAvailability(min)
 
 // DurabilitySLA returns an SLA bounding the loss probability.
 func DurabilitySLA(max float64) (SLA, error) { return sla.NewDurability(max) }
+
+// PowerBudgetSLA returns an SLA bounding the facility's peak power
+// draw (kW). Requires a power-enabled scenario (Scenario.Power).
+func PowerBudgetSLA(maxKW float64) (SLA, error) { return sla.NewPowerBudget(maxKW) }
+
+// EnergyCostSLA returns an SLA capping the simulated horizon's energy
+// bill at maxUSD, pricing facility energy at usdPerKWh.
+func EnergyCostSLA(maxUSD, usdPerKWh float64) (SLA, error) {
+	return sla.NewEnergyCost(maxUSD, usdPerKWh)
+}
