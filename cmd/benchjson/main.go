@@ -118,7 +118,9 @@ func Parse(r io.Reader) (map[string]Result, error) {
 			case "MB/s":
 				res.MBPerSec = ptr(v)
 			default:
-				if strings.HasSuffix(fields[i+1], "/op") {
+				// Custom b.ReportMetric units: per-op ratios
+				// ("trials/op") and rates ("queries/s").
+				if strings.HasSuffix(fields[i+1], "/op") || strings.HasSuffix(fields[i+1], "/s") {
 					if res.Extra == nil {
 						res.Extra = make(map[string]float64)
 					}

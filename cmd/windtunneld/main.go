@@ -17,6 +17,17 @@
 //	GET    /v1/cache      trial-cache and pool statistics
 //	GET    /v1/healthz    liveness
 //
+// Fleet mode: a set of workers plus one coordinator form a sharded wind
+// tunnel. Every member gets the same -peers list (the worker URLs);
+// each worker additionally names itself with -self, enabling cache
+// peering, and the coordinator runs with -coordinator, sharding each
+// sweep's design points across the workers by consistent-hashing their
+// cache keys and merging the streams back in point order:
+//
+//	windtunneld -addr :8867 -cache-dir /var/wt/w1 -peers http://h1:8867,http://h2:8867 -self http://h1:8867
+//	windtunneld -addr :8867 -cache-dir /var/wt/w2 -peers http://h1:8867,http://h2:8867 -self http://h2:8867
+//	windtunneld -addr :8866 -coordinator -peers http://h1:8867,http://h2:8867
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: new queries are
 // refused with 503, in-flight jobs stream to completion within the
 // -drain window, then remaining jobs are cancelled and the result
@@ -33,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +60,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "trial cache disk tier directory (empty = memory only)")
 	storePath := flag.String("store", "", "JSON result archive shared by all jobs (§4.4)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window for in-flight jobs")
+	peers := flag.String("peers", "", "comma-separated fleet worker URLs (same list on every member)")
+	self := flag.String("self", "", "this worker's own URL within -peers (enables cache peering)")
+	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard queries across -peers workers")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -55,6 +70,9 @@ func main() {
 		PoolSize:     *pool,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		Peers:        splitPeers(*peers),
+		Self:         *self,
+		Coordinator:  *coordinator,
 	}
 	if *storePath != "" {
 		store, err := results.Load(*storePath)
@@ -73,8 +91,17 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("windtunneld listening on %s (pool=%d, cache=%d entries, disk=%q)",
-		*addr, svc.Pool().Cap(), *cacheEntries, *cacheDir)
+	switch {
+	case *coordinator:
+		log.Printf("windtunneld coordinating %d workers on %s: %s",
+			len(cfg.Peers), *addr, strings.Join(cfg.Peers, ", "))
+	case len(cfg.Peers) > 0:
+		log.Printf("windtunneld listening on %s (pool=%d, cache=%d entries, disk=%q, peering as %s)",
+			*addr, svc.Pool().Cap(), *cacheEntries, *cacheDir, *self)
+	default:
+		log.Printf("windtunneld listening on %s (pool=%d, cache=%d entries, disk=%q)",
+			*addr, svc.Pool().Cap(), *cacheEntries, *cacheDir)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -104,6 +131,18 @@ func main() {
 	st := svc.Cache().Stats()
 	log.Printf("windtunneld stopped (cache: %d entries, %.1f%% hit rate, %d evictions)",
 		st.Entries, 100*st.HitRate(), st.Evictions)
+}
+
+// splitPeers parses the -peers list, dropping empty segments so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

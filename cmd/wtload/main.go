@@ -1,0 +1,213 @@
+// Command wtload is a closed-loop load harness for windtunneld: N
+// concurrent clients each issue WTQL queries back-to-back against a
+// daemon (or a fleet coordinator) and the harness reports throughput,
+// the latency distribution, and the server's cache statistics — the
+// numbers behind the "wind tunnel as a shared service" claim: once the
+// trial cache is warm, a hundred designers asking what-if questions at
+// once are served from remembered trials, not fresh simulation.
+//
+// Usage:
+//
+//	wtload -server http://localhost:8866 -clients 100 -requests 300
+//	wtload -server http://localhost:8866 -q "SIMULATE ..." -clients 100
+//
+// Each request POSTs the query to /v1/query and consumes the whole
+// NDJSON stream; a request counts as successful only when the stream
+// terminates with a result event. The default query is a small
+// replication sweep so every client resolves to the same cache keys —
+// the worst case for lock contention and the best case for reuse.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// defaultQuery is a 4-point sweep, small enough that a cold run
+// finishes in seconds yet large enough to exercise streaming, sharding
+// and the cache.
+const defaultQuery = `SIMULATE availability
+VARY storage.replication IN (2, 3), cluster.racks IN (4, 8)
+WITH trials = 3, users = 20, seed = 7`
+
+func main() {
+	server := flag.String("server", "http://localhost:8866", "windtunneld (or coordinator) base URL")
+	query := flag.String("q", defaultQuery, "WTQL query every client issues")
+	clients := flag.Int("clients", 100, "concurrent clients")
+	requests := flag.Int("requests", 0, "total requests across all clients (0 = one per client)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "abort the whole run after this duration")
+	flag.Parse()
+
+	if *requests <= 0 {
+		*requests = *clients
+	}
+	if *requests < *clients {
+		*clients = *requests
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	base := strings.TrimRight(*server, "/")
+	body, err := json.Marshal(map[string]any{"query": *query})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "wtload: %d requests, %d concurrent clients -> %s\n",
+		*requests, *clients, base)
+
+	var (
+		next      atomic.Int64
+		okCount   atomic.Int64
+		failCount atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+	)
+	client := &http.Client{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(*requests) || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				err := runOnce(ctx, client, base, body)
+				lat := time.Since(t0)
+				if err != nil {
+					failCount.Add(1)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				okCount.Add(1)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok, failed := okCount.Load(), failCount.Load()
+	fmt.Printf("requests:   %d ok, %d failed in %s\n", ok, failed, elapsed.Round(time.Millisecond))
+	if ok > 0 {
+		fmt.Printf("throughput: %.1f queries/s\n", float64(ok)/elapsed.Seconds())
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Printf("latency:    p50 %s  p95 %s  p99 %s  max %s\n",
+			pct(latencies, 50), pct(latencies, 95), pct(latencies, 99),
+			latencies[len(latencies)-1].Round(time.Millisecond))
+	}
+	if firstErr != nil {
+		fmt.Printf("first error: %v\n", firstErr)
+	}
+	printCacheStats(base, client)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOnce issues one query and drains its stream, requiring a terminal
+// result event.
+func runOnce(ctx context.Context, client *http.Client, base string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	sawResult := false
+	for {
+		var ev struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case "result":
+			sawResult = true
+		case "error":
+			return fmt.Errorf("server: %s", ev.Error)
+		}
+	}
+	if !sawResult {
+		return fmt.Errorf("stream ended without a result")
+	}
+	return nil
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Millisecond)
+}
+
+// printCacheStats fetches and prints the server's /v1/cache snapshot —
+// on a fleet coordinator this is the coordinator's own (empty) cache,
+// so point wtload at a worker to read per-worker hit and peering rates.
+func printCacheStats(base string, client *http.Client) {
+	resp, err := client.Get(base + "/v1/cache")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Entries  int     `json:"entries"`
+		Hits     uint64  `json:"hits"`
+		DiskHits uint64  `json:"disk_hits"`
+		PeerHits uint64  `json:"peer_hits"`
+		Misses   uint64  `json:"misses"`
+		HitRate  float64 `json:"hit_rate"`
+		PoolCap  int     `json:"pool_capacity"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return
+	}
+	fmt.Printf("server cache: %d entries, %d hits (%d disk, %d peer), %d misses, %.1f%% hit rate, pool=%d\n",
+		st.Entries, st.Hits, st.DiskHits, st.PeerHits, st.Misses, 100*st.HitRate, st.PoolCap)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wtload:", err)
+	os.Exit(1)
+}

@@ -183,6 +183,7 @@ func runRemote(ctx context.Context, base, text string, trials int, progress bool
 			Done      int                `json:"done"`
 			Total     int                `json:"total"`
 			Cached    bool               `json:"cached"`
+			Worker    string             `json:"worker"`
 			Config    map[string]string  `json:"config"`
 			Metrics   map[string]float64 `json:"metrics"`
 			Table     string             `json:"table"`
@@ -202,6 +203,11 @@ func runRemote(ctx context.Context, base, text string, trials int, progress bool
 				note := ""
 				if ev.Cached {
 					note = " (cached)"
+				}
+				if ev.Worker != "" {
+					// Coordinator-merged streams name the worker that
+					// served each point.
+					note += " @" + ev.Worker
 				}
 				fmt.Fprintf(os.Stderr, "[%d/%d] %v%s\n", ev.Done, ev.Total, ev.Config, note)
 			}

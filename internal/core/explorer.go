@@ -14,7 +14,12 @@ import (
 
 // PointOutcome is the result of one design point in a sweep.
 type PointOutcome struct {
-	Point  design.Point
+	Point design.Point
+	// Index is the point's position in the full space's point order.
+	// Without a Subset it equals the commit position; with one it is the
+	// global index, which is what lets a sharded fleet merge per-worker
+	// outcome streams back into the exact single-sweep order.
+	Index  int
 	Result *RunResult // nil when pruned; analytic estimates when screened
 	Pruned bool
 	// Screened reports that the point was decided by the analytic
@@ -104,6 +109,14 @@ type Explorer struct {
 	Screen *ScreenRule
 	// Workers bounds point-level parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Subset, when non-nil, restricts the sweep to these indices of
+	// Space.Points() (strictly ascending, in range). Outcomes commit in
+	// subset order, done/total count subset points, and every
+	// PointOutcome carries its global Index — the contract a sharded
+	// fleet's coordinator relies on to merge per-worker streams back
+	// into the full space's order. With pruning enabled, dominance is
+	// observed within the subset only.
+	Subset []int
 	// Objective, when non-nil, scores passing points (lower = better).
 	Objective func(p design.Point, r *RunResult) (float64, error)
 	// Cache, when non-nil, is consulted before simulating a point and
@@ -167,14 +180,29 @@ func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 		return nil, fmt.Errorf("core: explorer needs a space and a build function")
 	}
 	points := e.Space.Points()
+	sel := e.Subset
+	if sel == nil {
+		sel = make([]int, len(points))
+		for i := range sel {
+			sel[i] = i
+		}
+	} else {
+		prev := -1
+		for _, gi := range sel {
+			if gi <= prev || gi >= len(points) {
+				return nil, fmt.Errorf("core: subset indices must be strictly ascending in [0, %d)", len(points))
+			}
+			prev = gi
+		}
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(points) {
-		workers = len(points)
+	if workers > len(sel) {
+		workers = len(sel)
 	}
-	if len(points) == 0 {
+	if len(sel) == 0 {
 		return &Exploration{}, nil
 	}
 
@@ -193,7 +221,7 @@ func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= len(points) {
+				if i >= len(sel) {
 					return
 				}
 				select {
@@ -203,14 +231,16 @@ func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 					return
 				default:
 				}
-				p := points[i]
+				gi := sel[i]
+				p := points[gi]
 				var res indexedPoint
 				if pruner.dominated(p) {
 					// Committed failures only grow, so this point is
 					// guaranteed to still be dominated at commit time.
-					res = indexedPoint{idx: i, out: PointOutcome{Point: p, Pruned: true}}
+					res = indexedPoint{idx: i, out: PointOutcome{Point: p, Index: gi, Pruned: true}}
 				} else {
 					out, err := e.runPoint(ctx, p)
+					out.Index = gi
 					res = indexedPoint{idx: i, out: out, err: err, ran: true}
 				}
 				select {
@@ -243,7 +273,7 @@ func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 	)
 	progress := func(out PointOutcome) {
 		if e.Progress != nil {
-			e.Progress(len(exp.Outcomes), len(points), out)
+			e.Progress(len(exp.Outcomes), len(sel), out)
 		}
 	}
 	for res := range results {
@@ -271,7 +301,7 @@ func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 				break
 			}
 			if pruner != nil && pruner.dominated(r.out.Point) {
-				exp.Outcomes = append(exp.Outcomes, PointOutcome{Point: r.out.Point, Pruned: true})
+				exp.Outcomes = append(exp.Outcomes, PointOutcome{Point: r.out.Point, Index: r.out.Index, Pruned: true})
 				exp.Pruned++
 				progress(exp.Outcomes[len(exp.Outcomes)-1])
 				continue
@@ -312,6 +342,29 @@ func (e *Explorer) RunContext(ctx context.Context) (*Exploration, error) {
 		return nil, err
 	}
 	return exp, nil
+}
+
+// PointKeys returns the content address (CacheKey) of every point of
+// the full space, in point order — the shard key a fleet scheduler
+// hashes on, so a design point always lands on the worker that already
+// holds its cached trials. Building a scenario is cheap (no simulation);
+// any Build error aborts, exactly as it would at run time.
+func (e *Explorer) PointKeys() ([]string, error) {
+	if e.Space == nil || e.Build == nil {
+		return nil, fmt.Errorf("core: explorer needs a space and a build function")
+	}
+	points := e.Space.Points()
+	keys := make([]string, len(points))
+	for i, p := range points {
+		sc, slas, err := e.Build(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: building point %s: %w", p.Key(), err)
+		}
+		runner := e.Runner
+		runner.SLAs = slas
+		keys[i] = CacheKey(sc, runner)
+	}
+	return keys, nil
 }
 
 // runPoint builds one scenario, screens it analytically when enabled,

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"runtime"
 	"testing"
 
 	"repro/internal/wtql"
@@ -48,6 +49,63 @@ func BenchmarkServiceQueryThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		post()
 	}
+}
+
+// postBench posts one query and drains the stream, requiring a
+// terminal result event.
+func postBench(b *testing.B, url string, body []byte) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last []byte
+	for sc.Scan() {
+		last = append(last[:0], sc.Bytes()...)
+	}
+	resp.Body.Close()
+	var final map[string]any
+	if err := json.Unmarshal(last, &final); err != nil || final["type"] != "result" {
+		b.Fatalf("stream ended with %s (%v)", last, err)
+	}
+}
+
+// BenchmarkFleetQueryThroughput measures end-to-end queries/second of a
+// 2-worker fleet behind a coordinator with warm worker caches — the
+// serving path plus the shard fan-out, stream merge and reassembly.
+func BenchmarkFleetQueryThroughput(b *testing.B) {
+	_, cts, _, _ := startFleet(b, 2, false)
+	body := mustJSON(b, QueryRequest{Query: benchQuery})
+
+	postBench(b, cts.URL, body) // warm the worker caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, cts.URL, body)
+	}
+}
+
+// BenchmarkFleet100ConcurrentClients is the load-harness shape as a
+// tracked benchmark: at least 100 concurrent closed-loop clients
+// hammering a 2-worker fleet's coordinator with a cache-warm sweep.
+// queries/s lands in BENCH_PR.json via the custom metric.
+func BenchmarkFleet100ConcurrentClients(b *testing.B) {
+	_, cts, _, _ := startFleet(b, 2, false)
+	body := mustJSON(b, QueryRequest{Query: benchQuery})
+	postBench(b, cts.URL, body) // warm the worker caches
+
+	// RunParallel spawns SetParallelism(p) * GOMAXPROCS goroutines;
+	// round up so at least 100 clients run regardless of core count.
+	procs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((100 + procs - 1) / procs)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			postBench(b, cts.URL, body)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 // BenchmarkTrialCacheHit measures a full WTQL sweep served entirely from

@@ -4,9 +4,12 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -14,10 +17,17 @@ import (
 // Cache is the content-addressed trial cache: completed (SLA-free) trial
 // statistics keyed by core.CacheKey fingerprints. It has two tiers:
 //
-//   - an LRU memory tier bounded at maxEntries results, and
+//   - an LRU memory tier bounded at maxEntries results,
 //   - an optional disk tier (one JSON file per key under dir) written on
 //     every Put, so results survive daemon restarts; a memory miss falls
-//     through to disk and promotes the entry back into memory.
+//     through to disk and promotes the entry back into memory, and
+//   - an optional peer tier (EnablePeering): on a memory+disk miss the
+//     key's consistent-hash owner peer is asked over GET /v1/cache/{key}
+//     before the caller falls back to simulating, so a re-sharded or
+//     restarted fleet reuses every trial ever computed anywhere. A
+//     fetched entry is promoted into the local memory and disk tiers.
+//     Peer fetches are best-effort: an unreachable or missing peer just
+//     degrades to a local miss.
 //
 // Determinism contract: a Get hit returns exactly the statistics a fresh
 // run of the same key would produce — runs are deterministic functions
@@ -37,7 +47,14 @@ type Cache struct {
 	items      map[string]*list.Element
 	dir        string // "" = memory-only
 
-	hits, diskHits, misses, puts, evictions uint64
+	// Peer tier (nil ring = disabled). The ring spans the whole fleet
+	// including this worker; self is this worker's URL on it, excluded
+	// from fetch targets so an owner's genuine miss never loops back.
+	peers      *Ring
+	self       string
+	peerClient *http.Client
+
+	hits, diskHits, peerHits, misses, puts, evictions uint64
 }
 
 type cacheEntry struct {
@@ -58,6 +75,20 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: cache dir: %w", err)
 		}
+		// writeDisk stages entries as put-* temp files before the atomic
+		// rename. A daemon killed between CreateTemp and Rename leaves
+		// the temp file behind, and nothing would ever delete it — they
+		// accumulated forever across restarts. A cache dir belongs to
+		// exactly one daemon (fleet workers each get their own), so at
+		// open time every surviving put-* file is from a dead writer and
+		// is swept.
+		stale, err := filepath.Glob(filepath.Join(dir, "put-*"))
+		if err != nil {
+			return nil, fmt.Errorf("service: cache dir sweep: %w", err)
+		}
+		for _, f := range stale {
+			os.Remove(f)
+		}
 	}
 	return &Cache{
 		maxEntries: maxEntries,
@@ -65,6 +96,22 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 		items:      make(map[string]*list.Element),
 		dir:        dir,
 	}, nil
+}
+
+// EnablePeering turns on the peer tier: peers is the full fleet member
+// list (every worker passes the same list, so the fleet agrees on key
+// ownership) and self is this worker's URL within it. client is the
+// HTTP client used for peer fetches; nil gets a short-timeout default —
+// a slow peer must degrade to a local simulate, not stall the sweep.
+func (c *Cache) EnablePeering(peers []string, self string, client *http.Client) {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	c.mu.Lock()
+	c.peers = NewRing(peers)
+	c.self = self
+	c.peerClient = client
+	c.mu.Unlock()
 }
 
 // Get implements core.TrialCache.
@@ -81,28 +128,114 @@ func (c *Cache) Get(key string) (*core.RunResult, bool) {
 
 	if c.dir != "" {
 		if res, ok := c.readDisk(key); ok {
-			c.mu.Lock()
-			c.hits++
-			c.diskHits++
-			// Re-check under the re-acquired lock: a concurrent Get for
-			// the same key may have promoted it already, and inserting a
-			// second element for one key would orphan the first in the
-			// LRU list and later evict the live map entry.
-			if el, dup := c.items[key]; dup {
-				c.ll.MoveToFront(el)
-				res = el.Value.(*cacheEntry).res
-			} else {
-				c.insert(key, res)
-			}
-			c.mu.Unlock()
-			return res, true
+			return c.promote(key, res, &c.diskHits), true
 		}
+	}
+	if res, ok := c.fetchPeer(key); ok {
+		res = c.promote(key, res, &c.peerHits)
+		if c.dir != "" {
+			// Re-replicate onto the local disk tier so the next restart
+			// (or the next re-shard) finds it without another hop. A
+			// concurrent Put of the same key writes identical bytes, so
+			// the double write is idempotent.
+			c.writeDisk(key, res)
+		}
+		return res, true
 	}
 
 	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
 	return nil, false
+}
+
+// promote inserts an entry recovered from a lower tier (disk or peer)
+// into the memory tier, counting a hit plus the tier counter. It
+// re-checks for the key under the re-acquired lock: a concurrent Get or
+// Put for the same key may have inserted it already, and a second
+// element for one key would orphan the first in the LRU list and later
+// evict the live map entry — the existing entry always wins.
+func (c *Cache) promote(key string, res *core.RunResult, tier *uint64) *core.RunResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	*tier++
+	if el, dup := c.items[key]; dup {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).res
+	}
+	c.insert(key, res)
+	return res
+}
+
+// fetchPeer asks the key's hash-owner peer for the entry. It never
+// recurses (peers answer from their memory+disk tiers only, via Peek)
+// and treats every failure — no peering, no eligible peer, connection
+// refused, 404, corrupt body — as a plain miss.
+func (c *Cache) fetchPeer(key string) (*core.RunResult, bool) {
+	c.mu.Lock()
+	ring, self, client := c.peers, c.self, c.peerClient
+	c.mu.Unlock()
+	if ring == nil {
+		return nil, false
+	}
+	owner, ok := ring.OwnerExcluding(key, self)
+	if !ok {
+		return nil, false
+	}
+	resp, err := client.Get(owner + "/v1/cache/" + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntryBytes))
+	if err != nil {
+		return nil, false
+	}
+	var rec diskRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	return rec.result(), true
+}
+
+// maxCacheEntryBytes bounds a peer response: an entry holds aggregate
+// metric maps plus per-tenant availabilities, far below this.
+const maxCacheEntryBytes = 64 << 20
+
+// Peek returns the entry from the local memory+disk tiers only — the
+// peer-serving path behind GET /v1/cache/{key}. It never triggers a
+// peer fetch (no fetch loops between mutually-peered workers) and
+// leaves the hit/miss counters alone: a peer's lookup is not this
+// worker's workload. Memory recency and disk promotion still apply.
+func (c *Cache) Peek(key string) (*core.RunResult, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	res, ok := c.readDisk(key)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, dup := c.items[key]; dup {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.insert(key, res)
+	return res, true
 }
 
 // Put implements core.TrialCache. The result must be treated as
@@ -136,12 +269,16 @@ func (c *Cache) insert(key string, r *core.RunResult) {
 	}
 }
 
-// Stats is a point-in-time cache counter snapshot.
+// Stats is a point-in-time cache counter snapshot. PeerHits counts the
+// subset of Hits served by fetching the entry from the key's hash-owner
+// peer (DiskHits likewise counts local-disk promotions); both are
+// included in Hits.
 type Stats struct {
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
 	Hits      uint64 `json:"hits"`
 	DiskHits  uint64 `json:"disk_hits"`
+	PeerHits  uint64 `json:"peer_hits"`
 	Misses    uint64 `json:"misses"`
 	Puts      uint64 `json:"puts"`
 	Evictions uint64 `json:"evictions"`
@@ -165,17 +302,19 @@ func (c *Cache) Stats() Stats {
 		Capacity:  c.maxEntries,
 		Hits:      c.hits,
 		DiskHits:  c.diskHits,
+		PeerHits:  c.peerHits,
 		Misses:    c.misses,
 		Puts:      c.puts,
 		Evictions: c.evictions,
 	}
 }
 
-// diskRecord is the persisted form of a cached result. Cached results
-// are SLA-free by construction (verdicts are recomputed on every hit),
-// so only the aggregate statistics are stored. encoding/json encodes
-// float64 with the shortest representation that parses back exactly, so
-// the disk round trip preserves every bit.
+// diskRecord is the persisted form of a cached result, and equally the
+// GET /v1/cache/{key} peer wire format. Cached results are SLA-free by
+// construction (verdicts are recomputed on every hit), so only the
+// aggregate statistics are stored. encoding/json encodes float64 with
+// the shortest representation that parses back exactly, so both the
+// disk round trip and a peer hop preserve every bit.
 type diskRecord struct {
 	Scenario           string             `json:"scenario"`
 	Trials             int                `json:"trials"`
@@ -191,6 +330,32 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+// recordFrom projects a result onto its persisted/wire form.
+func recordFrom(r *core.RunResult) diskRecord {
+	return diskRecord{
+		Scenario:           r.Scenario,
+		Trials:             r.Trials,
+		Metrics:            r.Metrics,
+		CI:                 r.CI,
+		TenantAvailability: r.TenantAvailability,
+		EventsTotal:        r.EventsTotal,
+		AbortedTrials:      r.AbortedTrials,
+	}
+}
+
+// result rebuilds the (SLA-free) cached result.
+func (rec diskRecord) result() *core.RunResult {
+	return &core.RunResult{
+		Scenario:           rec.Scenario,
+		Trials:             rec.Trials,
+		Metrics:            rec.Metrics,
+		CI:                 rec.CI,
+		TenantAvailability: rec.TenantAvailability,
+		EventsTotal:        rec.EventsTotal,
+		AbortedTrials:      rec.AbortedTrials,
+	}
+}
+
 func (c *Cache) readDisk(key string) (*core.RunResult, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
@@ -200,28 +365,11 @@ func (c *Cache) readDisk(key string) (*core.RunResult, bool) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return nil, false // corrupt entry: treat as a miss
 	}
-	return &core.RunResult{
-		Scenario:           rec.Scenario,
-		Trials:             rec.Trials,
-		Metrics:            rec.Metrics,
-		CI:                 rec.CI,
-		TenantAvailability: rec.TenantAvailability,
-		EventsTotal:        rec.EventsTotal,
-		AbortedTrials:      rec.AbortedTrials,
-	}, true
+	return rec.result(), true
 }
 
 func (c *Cache) writeDisk(key string, r *core.RunResult) {
-	rec := diskRecord{
-		Scenario:           r.Scenario,
-		Trials:             r.Trials,
-		Metrics:            r.Metrics,
-		CI:                 r.CI,
-		TenantAvailability: r.TenantAvailability,
-		EventsTotal:        r.EventsTotal,
-		AbortedTrials:      r.AbortedTrials,
-	}
-	data, err := json.Marshal(rec)
+	data, err := json.Marshal(recordFrom(r))
 	if err != nil {
 		return // non-finite metric: keep the memory tier only
 	}

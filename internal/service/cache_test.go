@@ -163,6 +163,37 @@ func TestCacheConcurrentDiskPromotion(t *testing.T) {
 	}
 }
 
+// TestStalePutTempFilesSweptOnOpen pins the temp-file-leak fix: a
+// daemon killed between CreateTemp and Rename leaves a put-* file in
+// the cache dir, and nothing else ever deletes it. NewCache must sweep
+// them while leaving committed entries untouched.
+func TestStalePutTempFilesSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("beef", 16)
+	c1.Put(key, dummyResult("kept", 0.9))
+
+	// Plant the wreckage of a writer that died mid-Put.
+	stale := filepath.Join(dir, "put-1234567890")
+	if err := os.WriteFile(stale, []byte(`{"torn":`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale put-* temp file survived reopen: stat err = %v", err)
+	}
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("sweep removed a committed cache entry")
+	}
+}
+
 func TestCacheCorruptDiskEntryIsAMiss(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewCache(8, dir)

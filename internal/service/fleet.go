@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/wtql"
+)
+
+// fleet is the coordinator's side of the sharded wind tunnel: the same
+// consistent-hash ring the workers peer over, plus the HTTP client the
+// coordinator fans queries out with. A sweep's design points are hashed
+// on core.CacheKey, so a point always lands on the worker that already
+// holds its cached trials; the workers' NDJSON streams are merged back
+// in global point order, and the in-order commit discipline on each
+// worker makes the merged table byte-identical to a single-daemon run.
+type fleet struct {
+	ring   *Ring
+	client *http.Client
+}
+
+func newFleet(workers []string) *fleet {
+	// No client timeout: a shard legitimately streams for as long as its
+	// slowest simulation; cancellation rides the request context.
+	return &fleet{ring: NewRing(workers), client: &http.Client{}}
+}
+
+// fleetMsg is one parsed line (or the terminal state) of a worker
+// stream.
+type fleetMsg struct {
+	worker string
+	ev     *PointEvent
+	err    error // set only on the terminal message
+	done   bool
+}
+
+// executeFleet runs one admitted job by sharding it across the fleet.
+// handled=false means the query is not shardable — a SET statement or a
+// MONOTONE (pruned) sweep, whose dominance decisions depend on the
+// whole committed prefix — and the caller must execute it locally; the
+// job stays registered either way. On handled=true the job's terminal
+// state has been recorded.
+func (s *Server) executeFleet(ctx context.Context, id, query string, trials int,
+	onEvent func(ev PointEvent, out core.PointOutcome)) (*wtql.ResultSet, error, bool) {
+	q, err := wtql.Parse(query)
+	if err != nil {
+		s.finish(id, err)
+		return nil, err, true
+	}
+	if len(q.Set) > 0 {
+		return nil, nil, false
+	}
+	// The coordinator plans with a default-constructed engine exactly as
+	// each worker does, so the cache keys it shards on are the keys the
+	// workers will compute; the resolved trial count is forwarded
+	// explicitly so a worker's own -trials default cannot skew them.
+	eng := s.engine(nil)
+	if trials > 0 {
+		eng.Trials = trials
+	}
+	plan, err := eng.Plan(q)
+	if err != nil {
+		s.finish(id, err)
+		return nil, err, true
+	}
+	if plan.Pruned() {
+		return nil, nil, false
+	}
+	rs, err := s.runFleetPlan(ctx, id, query, plan, onEvent)
+	s.finish(id, err)
+	return rs, err, true
+}
+
+// runFleetPlan shards the planned sweep, streams the merged per-point
+// events in global point order, and assembles the final result set.
+func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.Plan,
+	onEvent func(ev PointEvent, out core.PointOutcome)) (*wtql.ResultSet, error) {
+	keys, err := plan.PointKeys()
+	if err != nil {
+		return nil, err
+	}
+	total := len(keys)
+
+	// Group point indices by their ring owner, preserving first-seen
+	// worker order for the fan-out.
+	assign := make(map[string][]int)
+	var order []string
+	for i, k := range keys {
+		w, ok := s.fleet.ring.Owner(k)
+		if !ok {
+			return nil, fmt.Errorf("service: fleet has no workers")
+		}
+		if assign[w] == nil {
+			order = append(order, w)
+		}
+		assign[w] = append(assign[w], i)
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan fleetMsg, 2*len(order))
+	for _, w := range order {
+		go s.fleet.stream(fctx, w, query, plan.Trials(), assign[w], ch)
+	}
+
+	points := plan.Points()
+	outcomes := make([]core.PointOutcome, total)
+	pending := make(map[int]PointEvent)
+	nextIdx, committed, active := 0, 0, len(order)
+	var firstErr error
+	for active > 0 {
+		m := <-ch
+		switch {
+		case m.done:
+			active--
+			if m.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("service: worker %s: %w", m.worker, m.err)
+				cancel() // tear down the other shards
+			}
+		case firstErr != nil:
+			// Already failing: drain without committing.
+		default:
+			ev := *m.ev
+			if ev.Index < 0 || ev.Index >= total {
+				firstErr = fmt.Errorf("service: worker %s streamed out-of-range point index %d", m.worker, ev.Index)
+				cancel()
+				continue
+			}
+			ev.Worker = m.worker
+			pending[ev.Index] = ev
+			// Commit the contiguous prefix: merged events leave in
+			// global point order with coordinator-level done/total, the
+			// same discipline each worker's commit path follows.
+			for {
+				next, ok := pending[nextIdx]
+				if !ok {
+					break
+				}
+				delete(pending, nextIdx)
+				out := eventOutcome(points[nextIdx], next)
+				outcomes[nextIdx] = out
+				committed++
+				next.Done, next.Total = committed, total
+				s.progress(id, committed, total, next.Cached)
+				if onEvent != nil {
+					onEvent(next, out)
+				}
+				nextIdx++
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // job cancelled: report it as such, not as a torn stream
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if committed != total {
+		return nil, fmt.Errorf("service: fleet streams ended after %d/%d points", committed, total)
+	}
+	return plan.Assemble(outcomes)
+}
+
+// stream posts one worker's shard and forwards its point events to ch,
+// always terminating with exactly one done message. The terminal send
+// is unconditionally blocking: the merge loop drains ch until every
+// stream has reported done, so the send always completes — bailing out
+// on ctx here instead would leak the done message and wedge the merge.
+func (f *fleet) stream(ctx context.Context, worker, query string, trials int, points []int, ch chan<- fleetMsg) {
+	fail := func(err error) {
+		ch <- fleetMsg{worker: worker, err: err, done: true}
+	}
+	body, err := json.Marshal(QueryRequest{Query: query, Trials: trials, Points: points})
+	if err != nil {
+		fail(err)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST",
+		strings.TrimRight(worker, "/")+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg))))
+		return
+	}
+
+	// One decoder over the NDJSON stream: json.Decoder handles
+	// arbitrarily large result lines without a scanner's token cap. Each
+	// line's type is peeked before the full decode — the event shapes
+	// share field names with different types (a result's "pruned" is a
+	// count, a point's is a bool).
+	dec := json.NewDecoder(resp.Body)
+	sawResult := false
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			fail(err)
+			return
+		}
+		var head struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			fail(err)
+			return
+		}
+		switch head.Type {
+		case "point":
+			var pe PointEvent
+			if err := json.Unmarshal(raw, &pe); err != nil {
+				fail(err)
+				return
+			}
+			select {
+			case ch <- fleetMsg{worker: worker, ev: &pe}:
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+		case "error":
+			fail(fmt.Errorf("%s", head.Error))
+			return
+		case "result":
+			sawResult = true
+		}
+	}
+	if !sawResult {
+		fail(fmt.Errorf("stream ended without a result"))
+		return
+	}
+	ch <- fleetMsg{worker: worker, done: true}
+}
+
+// eventOutcome reconstructs a committed point outcome from a worker's
+// point event. encoding/json round-trips float64 bit-exactly, so
+// Assemble over these outcomes renders the very bytes a local run of
+// the same sweep would.
+func eventOutcome(p design.Point, ev PointEvent) core.PointOutcome {
+	out := core.PointOutcome{
+		Point:     p,
+		Index:     ev.Index,
+		Pruned:    ev.Pruned,
+		Screened:  ev.Screened,
+		FromCache: ev.Cached,
+		AllMet:    ev.AllMet,
+	}
+	if !ev.Pruned {
+		out.Result = &core.RunResult{
+			Metrics:     ev.Metrics,
+			Trials:      ev.Trials,
+			EventsTotal: ev.Events,
+		}
+	}
+	return out
+}

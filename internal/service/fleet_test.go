@@ -1,0 +1,447 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startFleet launches n workers (each with its own cache, peered over
+// the full member list) plus one coordinator sharding across them. It
+// returns the coordinator's server and test URL, and the worker
+// servers in URL order.
+func startFleet(t testing.TB, n int, diskCache bool) (*Server, *httptest.Server, []*Server, []string) {
+	t.Helper()
+	workers := make([]*Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{PoolSize: 2}
+		if diskCache {
+			cfg.CacheDir = t.TempDir()
+		}
+		srv, ts := newTestServer(t, cfg)
+		workers[i] = srv
+		urls[i] = ts.URL
+	}
+	// httptest URLs exist only after the servers start, so peering is
+	// wired afterwards — same ring, each worker its own self.
+	for i, w := range workers {
+		w.Cache().EnablePeering(urls, urls[i], nil)
+	}
+	coord, cts := newTestServer(t, Config{Coordinator: true, Peers: urls})
+	return coord, cts, workers, urls
+}
+
+// TestFleetByteIdenticalMerge is the tentpole's golden check: a sweep
+// sharded across two workers and merged by the coordinator must render
+// the very bytes a single daemon produces, with point events arriving
+// in global order and labelled with their serving worker.
+func TestFleetByteIdenticalMerge(t *testing.T) {
+	_, single := newTestServer(t, Config{PoolSize: 2})
+	want := lastEvent(t, postQuery(t, single, smallQuery))
+
+	_, cts, _, urls := startFleet(t, 2, false)
+	events := postQuery(t, cts, smallQuery)
+	got := lastEvent(t, events)
+
+	if got["type"] != "result" {
+		t.Fatalf("fleet query ended with %v", got)
+	}
+	wantTable, _ := want["table"].(string)
+	gotTable, _ := got["table"].(string)
+	if wantTable == "" || wantTable != gotTable {
+		t.Fatalf("fleet table differs from single-daemon run:\n--- single ---\n%s--- fleet ---\n%s",
+			wantTable, gotTable)
+	}
+
+	valid := map[string]bool{}
+	for _, u := range urls {
+		valid[u] = true
+	}
+	done := 0
+	for _, ev := range events {
+		if ev["type"] != "point" {
+			continue
+		}
+		done++
+		if int(ev["done"].(float64)) != done || int(ev["total"].(float64)) != 4 {
+			t.Fatalf("merged point events out of order: done=%v total=%v at position %d",
+				ev["done"], ev["total"], done)
+		}
+		w, _ := ev["worker"].(string)
+		if !valid[w] {
+			t.Fatalf("point event names unknown worker %q", w)
+		}
+	}
+	if done != 4 {
+		t.Fatalf("coordinator streamed %d point events, want 4", done)
+	}
+}
+
+// TestFleetSecondPassHitsCaches reruns a sweep through the coordinator:
+// every point must come back cached, because each point re-shards to
+// the worker that simulated it the first time.
+func TestFleetSecondPassHitsCaches(t *testing.T) {
+	_, cts, workers, _ := startFleet(t, 2, false)
+
+	cold := lastEvent(t, postQuery(t, cts, smallQuery))
+	if cold["cache_hits"].(float64) != 0 {
+		t.Fatalf("cold fleet run reported cache hits: %v", cold["cache_hits"])
+	}
+	warm := lastEvent(t, postQuery(t, cts, smallQuery))
+	executed := warm["executed"].(float64)
+	hits := warm["cache_hits"].(float64)
+	if executed == 0 || hits < 0.9*executed {
+		t.Fatalf("warm fleet run hit %v of %v executed points, want >= 90%%", hits, executed)
+	}
+	if coldT, warmT := cold["table"], warm["table"]; coldT != warmT {
+		t.Fatalf("warm fleet table differs from cold:\n%v\nvs\n%v", coldT, warmT)
+	}
+	var hitsTotal uint64
+	for _, w := range workers {
+		hitsTotal += w.Cache().Stats().Hits
+	}
+	if hitsTotal < 4 {
+		t.Fatalf("workers' caches recorded %d hits across the warm pass, want >= 4", hitsTotal)
+	}
+}
+
+// TestFleetWorkerFailureSurfacesError kills one worker mid-fleet and
+// checks the coordinator reports a proper error event instead of
+// hanging or truncating the merge.
+func TestFleetWorkerFailureSurfacesError(t *testing.T) {
+	workers := make([]*Server, 2)
+	urls := make([]string, 2)
+	tss := make([]*httptest.Server, 2)
+	for i := range workers {
+		srv, ts := newTestServer(t, Config{PoolSize: 2})
+		workers[i], tss[i], urls[i] = srv, ts, ts.URL
+	}
+	_, cts := newTestServer(t, Config{Coordinator: true, Peers: urls})
+
+	tss[1].Close() // one worker is down before the query arrives
+
+	events := postQuery(t, cts, smallQuery)
+	final := lastEvent(t, events)
+	// Either the failed worker owned some points (error) or, rarely, the
+	// live worker owned all four (result): both are correct terminations.
+	switch final["type"] {
+	case "error":
+		msg, _ := final["error"].(string)
+		if !strings.Contains(msg, "worker") {
+			t.Fatalf("fleet failure error does not name the worker: %q", msg)
+		}
+	case "result":
+	default:
+		t.Fatalf("fleet with a dead worker ended with %v", final)
+	}
+}
+
+// TestFleetSetStatementFallsBackLocally checks the non-shardable path:
+// SET executes on the coordinator itself rather than erroring.
+func TestFleetSetStatementFallsBackLocally(t *testing.T) {
+	_, cts, _, _ := startFleet(t, 2, false)
+	events := postQuery(t, cts, "SET runner.crn = on")
+	final := lastEvent(t, events)
+	if final["type"] != "result" {
+		t.Fatalf("SET on a coordinator ended with %v", final)
+	}
+}
+
+// TestFleetPrunedSweepFallsBackLocally: MONOTONE pruning decisions
+// depend on the whole committed prefix, so the coordinator must run the
+// sweep locally — and still produce a correct result.
+func TestFleetPrunedSweepFallsBackLocally(t *testing.T) {
+	_, cts, workers, _ := startFleet(t, 2, false)
+	q := `SIMULATE availability
+VARY cluster.nodes IN (5, 6, 7, 8) MONOTONE
+WITH users = 20, object_mb = 10, trials = 2, horizon_hours = 200
+WHERE sla.availability >= 0.2`
+	final := lastEvent(t, postQuery(t, cts, q))
+	if final["type"] != "result" {
+		t.Fatalf("pruned sweep on a coordinator ended with %v", final)
+	}
+	for i, w := range workers {
+		if jobs := w.Jobs(); len(jobs) != 0 {
+			t.Fatalf("pruned sweep was sharded: worker %d saw jobs %+v", i, jobs)
+		}
+	}
+}
+
+// TestWorkerSubsetExecution drives the worker half of the protocol
+// directly: a Points shard must execute only those indices and stream
+// their global positions.
+func TestWorkerSubsetExecution(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		bytes.NewReader(mustJSON(t, QueryRequest{Query: smallQuery, Points: []int{1, 3}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeStream(t, resp)
+	var indices []int
+	for _, ev := range events {
+		if ev["type"] == "point" {
+			indices = append(indices, int(ev["index"].(float64)))
+			if ev["total"].(float64) != 2 {
+				t.Fatalf("subset total = %v, want 2", ev["total"])
+			}
+		}
+	}
+	if len(indices) != 2 || indices[0] != 1 || indices[1] != 3 {
+		t.Fatalf("subset executed indices %v, want [1 3]", indices)
+	}
+	final := lastEvent(t, events)
+	if final["type"] != "result" || final["executed"].(float64) != 2 {
+		t.Fatalf("subset final event = %v", final)
+	}
+}
+
+// TestWorkerRejectsBadSubset: a non-ascending or out-of-range shard is
+// a client error, not a panic.
+func TestWorkerRejectsBadSubset(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2})
+	for _, points := range [][]int{{3, 1}, {0, 0}, {0, 99}, {-1}} {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			bytes.NewReader(mustJSON(t, QueryRequest{Query: smallQuery, Points: points})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := lastEvent(t, decodeStream(t, resp))
+		if final["type"] != "error" {
+			t.Fatalf("subset %v accepted: %v", points, final)
+		}
+	}
+}
+
+// TestRingDeterministicAndComplete checks the consistent-hash ring:
+// same members in any order agree on every owner, ownership spans all
+// members on a reasonable key population, and removing a member only
+// moves the removed member's keys.
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a := NewRing([]string{"http://w1", "http://w2", "http://w3"})
+	b := NewRing([]string{"http://w3", "http://w1", "http://w2"})
+
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = strings.Repeat("0", 60) + string(rune('a'+i%26)) + strings.Repeat("f", 3)
+	}
+	owned := map[string]int{}
+	for _, k := range keys {
+		oa, ok := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if !ok || oa != ob {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, oa, ob)
+		}
+		owned[oa]++
+	}
+	if len(owned) != 3 {
+		t.Fatalf("300 keys landed on %d of 3 members: %v", len(owned), owned)
+	}
+
+	// Membership change: keys not owned by w3 must keep their owner.
+	c := NewRing([]string{"http://w1", "http://w2"})
+	for _, k := range keys {
+		before, _ := a.Owner(k)
+		after, _ := c.Owner(k)
+		if before != "http://w3" && before != after {
+			t.Fatalf("removing w3 moved %q from %q to %q", k, before, after)
+		}
+	}
+
+	// OwnerExcluding never returns the excluded member, and an empty
+	// ring (or fully-excluded ring) reports ok=false.
+	for _, k := range keys {
+		o, ok := a.OwnerExcluding(k, "http://w1")
+		if !ok || o == "http://w1" {
+			t.Fatalf("OwnerExcluding returned %q ok=%v", o, ok)
+		}
+	}
+	if _, ok := NewRing(nil).Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	solo := NewRing([]string{"http://only"})
+	if _, ok := solo.OwnerExcluding("x", "http://only"); ok {
+		t.Fatal("fully-excluded ring claimed an owner")
+	}
+}
+
+// TestCachePeerFetch: a worker that misses locally must fetch the entry
+// from its hash-owner peer, count it as a peer hit, and re-replicate it
+// into its own disk tier.
+func TestCachePeerFetch(t *testing.T) {
+	owner, ots := newTestServer(t, Config{PoolSize: 1})
+	key := strings.Repeat("12ab", 16)
+	want := dummyResult("peered", 0.97531)
+	owner.Cache().Put(key, want)
+
+	dir := t.TempDir()
+	local, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://self.invalid"
+	local.EnablePeering([]string{ots.URL, self}, self, nil)
+
+	got, ok := local.Get(key)
+	if !ok {
+		t.Fatal("peer-owned entry missed")
+	}
+	if got.Scenario != want.Scenario || got.EventsTotal != want.EventsTotal {
+		t.Fatalf("peer round trip changed scalars: %+v", got)
+	}
+	for k, v := range want.Metrics {
+		if got.Metrics[k] != v {
+			t.Fatalf("metric %s not bit-exact over the peer hop: %v != %v", k, got.Metrics[k], v)
+		}
+	}
+	st := local.Stats()
+	if st.PeerHits != 1 || st.Hits != 1 {
+		t.Fatalf("peer fetch stats: %+v", st)
+	}
+
+	// Re-replication: a fresh cache on the same dir finds the entry on
+	// disk without any peer.
+	fresh, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(key); !ok {
+		t.Fatal("peer-fetched entry was not re-replicated to the local disk tier")
+	}
+
+	// Second Get serves from memory: no second peer hit.
+	local.Get(key)
+	if st := local.Stats(); st.PeerHits != 1 || st.Hits != 2 {
+		t.Fatalf("promoted peer entry stats: %+v", st)
+	}
+}
+
+// TestCachePeerUnreachableDegradesToMiss: a down (or absent) peer must
+// degrade to a plain miss so the caller simulates locally.
+func TestCachePeerUnreachableDegrades(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	c, err := NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://self.invalid"
+	c.EnablePeering([]string{deadURL, self}, self, nil)
+
+	key := strings.Repeat("77cc", 16)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("dead peer produced a hit")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.PeerHits != 0 || st.Hits != 0 {
+		t.Fatalf("dead-peer stats: %+v", st)
+	}
+	// The cache still works locally after the failed fetch.
+	c.Put(key, dummyResult("local", 0.5))
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("local put lost after failed peer fetch")
+	}
+}
+
+// TestCacheConcurrentPeerFetchAndPut hammers one key with concurrent
+// peer-fetching Gets and local Puts: the promotion path must never
+// insert a second LRU element for the key (which would desync the list
+// from the map and later evict the live entry).
+func TestCacheConcurrentPeerFetchAndPut(t *testing.T) {
+	owner, ots := newTestServer(t, Config{PoolSize: 1})
+	key := strings.Repeat("9d0e", 16)
+	res := dummyResult("hot", 0.9)
+	owner.Cache().Put(key, res)
+
+	local, err := NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://self.invalid"
+	local.EnablePeering([]string{ots.URL, self}, self, nil)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				local.Get(key)
+			} else {
+				local.Put(key, res)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := local.Stats(); st.Entries != 1 {
+		t.Fatalf("one key became %d entries under concurrent peer fetch + put: %+v", st.Entries, st)
+	}
+	// Fill to capacity: the map and list must still agree.
+	for i := 0; i < 7; i++ {
+		local.Put(strings.Repeat("f", 60)+"000"+string(rune('0'+i)), dummyResult("f", 0.5))
+	}
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("contended key lost after fills below capacity")
+	}
+	if st := local.Stats(); st.Entries != 8 || st.Evictions != 0 {
+		t.Fatalf("map/list desync: %+v", st)
+	}
+}
+
+// TestCacheEntryEndpoint covers GET /v1/cache/{key} directly: hits
+// serve the wire record, misses and malformed keys 404, and the lookup
+// leaves the serving worker's hit/miss counters alone.
+func TestCacheEntryEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 1})
+	key := strings.Repeat("ab01", 16)
+	srv.Cache().Put(key, dummyResult("served", 0.88))
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache entry GET returned %d", resp.StatusCode)
+	}
+
+	for _, bad := range []string{strings.Repeat("a", 63), strings.Repeat("Z", 64), "..%2f..%2fetc"} {
+		r2, err := http.Get(ts.URL + "/v1/cache/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusNotFound {
+			t.Fatalf("key %q returned %d, want 404", bad, r2.StatusCode)
+		}
+	}
+
+	if st := srv.Cache().Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("peer-serving lookups polluted the counters: %+v", st)
+	}
+}
+
+// decodeStream parses an NDJSON response body into events.
+func decodeStream(t testing.TB, resp *http.Response) (events []map[string]any) {
+	t.Helper()
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev map[string]any
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("bad NDJSON stream: %v", err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,6 +20,12 @@ type QueryRequest struct {
 	// Trials overrides the server's default per-configuration trial
 	// count (a WITH trials = n clause in the query still wins).
 	Trials int `json:"trials,omitempty"`
+	// Points, when non-empty, restricts execution to these global
+	// design-point indices (strictly ascending) — the shard a fleet
+	// coordinator assigns this worker. Streamed point events carry the
+	// global index so the coordinator can merge shards back into full
+	// point order.
+	Points []int `json:"points,omitempty"`
 }
 
 // Stream event types, one JSON object per NDJSON line:
@@ -32,17 +39,27 @@ type JobEvent struct {
 	ID   string `json:"id"`
 }
 
-// PointEvent reports one committed design point.
+// PointEvent reports one committed design point. Index is the point's
+// global position in the sweep's point order (== Done-1 on a full
+// sweep, the coordinator's merge key on a sharded one); Trials and
+// Events carry enough of the point's result over the wire for a
+// coordinator to re-assemble the exact single-daemon table. Worker is
+// set only on coordinator-merged streams: the URL of the worker that
+// served the point.
 type PointEvent struct {
 	Type     string             `json:"type"`
 	Done     int                `json:"done"`
 	Total    int                `json:"total"`
+	Index    int                `json:"index"`
 	Config   map[string]string  `json:"config"`
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Trials   int                `json:"trials,omitempty"`
+	Events   uint64             `json:"events,omitempty"`
 	Pruned   bool               `json:"pruned,omitempty"`
 	Screened bool               `json:"screened,omitempty"`
 	Cached   bool               `json:"cached,omitempty"`
 	AllMet   bool               `json:"all_met"`
+	Worker   string             `json:"worker,omitempty"`
 }
 
 // ResultEvent carries the final result set. Table is the same aligned
@@ -75,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheEntry)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -84,7 +102,11 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeQueryRequest(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorEvent{Type: "error", Error: err.Error()})
+		status := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, ErrorEvent{Type: "error", Error: err.Error()})
 		return
 	}
 
@@ -108,11 +130,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// The stream writes below all happen on this handler goroutine: the
 	// engine's Progress callback is invoked from the sweep's commit path,
-	// which runs inside ExecuteContext.
-	rs, err := s.execute(jctx, id, req.Query, req.Trials,
-		func(done, total int, out core.PointOutcome) {
-			emit(pointEvent(done, total, out))
-		})
+	// which runs inside ExecuteContext; the coordinator's merge loop
+	// likewise runs inside executeFleet.
+	var (
+		rs      *wtql.ResultSet
+		handled bool
+	)
+	if s.fleet != nil {
+		rs, err, handled = s.executeFleet(jctx, id, req.Query, req.Trials,
+			func(ev PointEvent, _ core.PointOutcome) { emit(ev) })
+	}
+	if !handled {
+		rs, err = s.execute(jctx, id, req.Query, req.Trials, req.Points,
+			func(done, total int, out core.PointOutcome) {
+				emit(pointEvent(done, total, out))
+			})
+	}
 	if err != nil {
 		emit(ErrorEvent{Type: "error", Error: err.Error()})
 		return
@@ -131,6 +164,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func pointEvent(done, total int, out core.PointOutcome) PointEvent {
 	ev := PointEvent{
 		Type: "point", Done: done, Total: total,
+		Index:    out.Index,
 		Config:   map[string]string{},
 		Pruned:   out.Pruned,
 		Screened: out.Screened,
@@ -142,6 +176,8 @@ func pointEvent(done, total int, out core.PointOutcome) PointEvent {
 	}
 	if out.Result != nil {
 		ev.Metrics = out.Result.Metrics
+		ev.Trials = out.Result.Trials
+		ev.Events = out.Result.EventsTotal
 	}
 	return ev
 }
@@ -153,11 +189,25 @@ func rowsOrEmpty(rows []wtql.Row) []wtql.Row {
 	return rows
 }
 
+// maxQueryBody bounds a POST /v1/query body. Oversized bodies are
+// rejected with 413, not silently truncated: the old io.LimitReader cut
+// a too-large JSON body at the limit, which then failed to parse as a
+// confusing 400 — or, for a text/plain query, executed a prefix of what
+// the client sent.
+const maxQueryBody = 1 << 20
+
+var errBodyTooLarge = fmt.Errorf("service: request body exceeds %d bytes", maxQueryBody)
+
 func decodeQueryRequest(r *http.Request) (QueryRequest, error) {
 	defer r.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// Read one byte past the limit so over-limit bodies are detected
+	// rather than truncated.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody+1))
 	if err != nil {
 		return QueryRequest{}, fmt.Errorf("service: reading request: %w", err)
+	}
+	if len(body) > maxQueryBody {
+		return QueryRequest{}, errBodyTooLarge
 	}
 	var req QueryRequest
 	ct := r.Header.Get("Content-Type")
@@ -204,6 +254,39 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		PoolCap int     `json:"pool_capacity"`
 		PoolUse int     `json:"pool_in_use"`
 	}{st, st.HitRate(), s.pool.Cap(), s.pool.InUse()})
+}
+
+// handleCacheEntry serves one cached trial result by key — the peering
+// endpoint workers fetch from on a local miss. It answers from the
+// local memory+disk tiers only (Peek), so mutually-peered workers never
+// chain fetches.
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "no such cache entry"})
+		return
+	}
+	res, ok := s.cache.Peek(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "no such cache entry"})
+		return
+	}
+	writeJSON(w, http.StatusOK, recordFrom(res))
+}
+
+// validCacheKey accepts exactly the hex SHA-256 fingerprints
+// core.CacheKey produces; anything else (in particular path-traversal
+// attempts against the disk tier) is a 404.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

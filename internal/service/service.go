@@ -20,7 +20,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -77,6 +76,25 @@ type Config struct {
 	// Store, when non-nil, archives every executed configuration
 	// (shared across jobs; results.Store is concurrency-safe).
 	Store *results.Store
+	// Peers is the fleet member list (worker URLs). Every fleet member —
+	// workers and coordinator — is configured with the same list, so the
+	// whole fleet agrees on the consistent-hash owner of every cache
+	// key. On a worker it enables cache peering; on a coordinator it is
+	// the set of workers queries shard across.
+	Peers []string
+	// Self is this worker's own URL within Peers. Required for a worker
+	// with Peers set (it anchors ring ownership and stops a worker from
+	// peer-fetching from itself); ignored in coordinator mode.
+	Self string
+	// Coordinator switches the server into fleet-coordinator mode:
+	// POST /v1/query shards the sweep's design points across Peers by
+	// consistent-hashing each point's core.CacheKey, streams the merged
+	// per-point events in global point order, and assembles the same
+	// table a single daemon would have produced, byte for byte. SET
+	// statements and MONOTONE (pruned) sweeps fall back to local
+	// execution — pruning decisions depend on the whole committed
+	// prefix, so they are not shardable.
+	Coordinator bool
 }
 
 // Server owns the shared pool, the trial cache and the job registry. Its
@@ -86,6 +104,8 @@ type Server struct {
 	pool  *Pool
 	cache *Cache
 	store *results.Store
+	fleet *fleet // non-nil in coordinator mode
+	now   func() time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -103,13 +123,36 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		pool:  NewPool(cfg.PoolSize),
 		cache: cache,
 		store: cfg.Store,
+		now:   time.Now,
 		jobs:  make(map[string]*job),
-	}, nil
+	}
+	switch {
+	case cfg.Coordinator:
+		if len(cfg.Peers) == 0 {
+			return nil, fmt.Errorf("service: coordinator mode needs at least one worker in Peers")
+		}
+		s.fleet = newFleet(cfg.Peers)
+	case len(cfg.Peers) > 0:
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("service: cache peering needs Self, this worker's URL within Peers")
+		}
+		found := false
+		for _, p := range cfg.Peers {
+			if p == cfg.Self {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("service: Self %q is not in Peers %v", cfg.Self, cfg.Peers)
+		}
+		cache.EnablePeering(cfg.Peers, cfg.Self, nil)
+	}
+	return s, nil
 }
 
 // Cache exposes the trial cache (for stats and tests).
@@ -159,7 +202,7 @@ func (s *Server) newJob(parent context.Context, query string) (string, context.C
 	id := "job-" + strconv.Itoa(s.nextID)
 	s.jobs[id] = &job{
 		info: JobInfo{
-			ID: id, Query: query, State: JobRunning, Created: time.Now(),
+			ID: id, Query: query, State: JobRunning, Created: s.now(),
 		},
 		cancel: cancel,
 	}
@@ -208,7 +251,7 @@ func (s *Server) finish(id string, err error) {
 		return
 	}
 	j.cancel() // release the context either way
-	j.info.Finished = time.Now()
+	j.info.Finished = s.now()
 	switch {
 	case err == nil:
 		j.info.State = JobDone
@@ -246,15 +289,18 @@ func (s *Server) Job(id string) (JobInfo, bool) {
 	return j.info, true
 }
 
-// Jobs returns all job snapshots, newest first.
+// Jobs returns all job snapshots, newest first. s.order is admission
+// order, so newest-first is exactly its reverse — sorting on Created
+// was not only wasted work but wrong: SliceStable kept same-tick jobs
+// (Created values are wall-clock, equal within a tick) in forward
+// order, listing the oldest of a burst first.
 func (s *Server) Jobs() []JobInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]JobInfo, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.jobs[id].info)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, s.jobs[s.order[i]].info)
 	}
-	sort.SliceStable(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
 	return out
 }
 
@@ -277,8 +323,9 @@ func (s *Server) engine(progress func(done, total int, out core.PointOutcome)) *
 }
 
 // execute runs an admitted job's query to completion and records its
-// terminal state.
-func (s *Server) execute(ctx context.Context, id, query string, trials int,
+// terminal state. points, when non-nil, restricts execution to those
+// global design-point indices — the sharded-fleet worker path.
+func (s *Server) execute(ctx context.Context, id, query string, trials int, points []int,
 	onPoint func(done, total int, out core.PointOutcome)) (*wtql.ResultSet, error) {
 	eng := s.engine(func(done, total int, out core.PointOutcome) {
 		s.progress(id, done, total, out.FromCache)
@@ -289,6 +336,7 @@ func (s *Server) execute(ctx context.Context, id, query string, trials int,
 	if trials > 0 {
 		eng.Trials = trials
 	}
+	eng.Subset = points
 	rs, err := eng.ExecuteContext(ctx, query)
 	s.finish(id, err)
 	return rs, err
@@ -296,13 +344,26 @@ func (s *Server) execute(ctx context.Context, id, query string, trials int,
 
 // RunQuery executes one WTQL query as a registered job, invoking onPoint
 // (when non-nil) per committed design point. It is the transport-neutral
-// core of the HTTP handler and the unit tests' entry point.
+// core of the HTTP handler and the unit tests' entry point. In
+// coordinator mode shardable queries fan out across the fleet exactly
+// as the HTTP path does.
 func (s *Server) RunQuery(ctx context.Context, query string, trials int,
 	onPoint func(done, total int, out core.PointOutcome)) (string, *wtql.ResultSet, error) {
 	id, jctx, err := s.newJob(ctx, query)
 	if err != nil {
 		return "", nil, err
 	}
-	rs, err := s.execute(jctx, id, query, trials, onPoint)
+	if s.fleet != nil {
+		rs, err, handled := s.executeFleet(jctx, id, query, trials,
+			func(ev PointEvent, out core.PointOutcome) {
+				if onPoint != nil {
+					onPoint(ev.Done, ev.Total, out)
+				}
+			})
+		if handled {
+			return id, rs, err
+		}
+	}
+	rs, err := s.execute(jctx, id, query, trials, nil, onPoint)
 	return id, rs, err
 }

@@ -400,6 +400,80 @@ func TestJobRegistryBounded(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyRejectedWith413 pins the body-limit fix: a body past
+// maxQueryBody must be rejected with 413, not silently truncated at the
+// limit and executed (or mis-parsed) as a prefix of what the client
+// sent.
+func TestOversizedBodyRejectedWith413(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+
+	big := strings.Repeat("x", maxQueryBody+1)
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %d, want 413", resp.StatusCode)
+	}
+	var ev ErrorEvent
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ev.Error, "exceeds") {
+		t.Fatalf("413 error message %q does not explain the limit", ev.Error)
+	}
+
+	// An at-limit body must still be accepted (it fails later as a parse
+	// error, proving it reached the parser rather than the size check).
+	atLimit := "SIMULATE availability " + strings.Repeat("x", maxQueryBody-22)
+	resp2, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(atLimit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("at-limit body returned %d, want 200 (stream with an error event)", resp2.StatusCode)
+	}
+}
+
+// TestJobsNewestFirstWithinOneTick pins the listing-order fix under a
+// frozen clock: jobs created at the identical Created timestamp must
+// still list newest-first. The old sort.SliceStable on Created kept
+// same-tick jobs in forward (oldest-first) order.
+func TestJobsNewestFirstWithinOneTick(t *testing.T) {
+	srv, err := New(Config{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	srv.now = func() time.Time { return frozen }
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, _, err := srv.newJob(context.Background(), "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.finish(id, nil)
+		ids = append(ids, id)
+	}
+	jobs := srv.Jobs()
+	if len(jobs) != len(ids) {
+		t.Fatalf("listed %d jobs, want %d", len(jobs), len(ids))
+	}
+	for i, j := range jobs {
+		want := ids[len(ids)-1-i]
+		if j.ID != want {
+			t.Fatalf("position %d lists %s, want %s (same-tick jobs must be newest-first)", i, j.ID, want)
+		}
+		if !j.Created.Equal(frozen) {
+			t.Fatalf("job %s Created = %v, clock not frozen", j.ID, j.Created)
+		}
+	}
+}
+
 // TestPoolBounds checks the gate semantics directly.
 func TestPoolBounds(t *testing.T) {
 	p := NewPool(2)

@@ -427,6 +427,13 @@ type Engine struct {
 	// point (in point order) while a query runs, enabling per-point
 	// streaming in the serving layer.
 	Progress func(done, total int, out core.PointOutcome)
+	// Subset, when non-nil, restricts SIMULATE execution to these global
+	// indices of the planned design space (strictly ascending) — the
+	// sharded-fleet worker contract. Each streamed outcome carries its
+	// global Index, and the assembled result covers only the subset's
+	// points; the coordinator merges worker subsets back into the full
+	// table.
+	Subset []int
 }
 
 // Similar returns the k archived configurations nearest to config,
@@ -560,6 +567,94 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 	if len(q.Set) > 0 {
 		return e.runSet(q)
 	}
+	plan, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	exploration, err := plan.newExplorer().RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Assemble(exploration.Outcomes)
+}
+
+// Plan is a SIMULATE query after semantic analysis: the design space,
+// the base scenario with every WITH override applied, the resolved
+// runner knobs, the lifted SLAs and the screening rule — everything the
+// engine binds before any simulation runs. Splitting planning from
+// execution is what makes a query shardable: a fleet coordinator plans
+// once, consistent-hashes PointKeys across workers, collects the
+// workers' outcome streams and Assembles the exact table a local run
+// would have produced.
+type Plan struct {
+	Query *Query
+	Space *design.Space
+
+	eng     *Engine
+	base    core.Scenario
+	runner  core.Runner
+	slas    []sla.SLA
+	screen  *core.ScreenRule
+	prune   bool
+	workers int
+}
+
+// Trials is the resolved per-point trial count after the WITH overlay.
+// A coordinator forwards it verbatim so every worker computes the same
+// cache keys the shard assignment was hashed on.
+func (p *Plan) Trials() int { return p.runner.Trials }
+
+// Pruned reports whether the query declared MONOTONE dimensions, i.e.
+// dominance pruning is active. Pruning decisions depend on the whole
+// committed prefix of the sweep, so a pruned sweep is not shardable and
+// a coordinator must execute it on one engine.
+func (p *Plan) Pruned() bool { return p.prune }
+
+// NumPoints is the size of the design space.
+func (p *Plan) NumPoints() int { return p.Space.Size() }
+
+// Points enumerates the design space in point order.
+func (p *Plan) Points() []design.Point { return p.Space.Points() }
+
+// PointKeys returns each point's content address (core.CacheKey) in
+// point order — the fleet's shard key.
+func (p *Plan) PointKeys() ([]string, error) { return p.newExplorer().PointKeys() }
+
+// newExplorer wires the plan to the engine's shared resources.
+func (p *Plan) newExplorer() *core.Explorer {
+	return &core.Explorer{
+		Space:    p.Space,
+		Build:    p.build,
+		Runner:   p.runner,
+		Prune:    p.prune,
+		Screen:   p.screen,
+		Workers:  p.workers,
+		Cache:    p.eng.Cache,
+		Gate:     p.eng.Gate,
+		Progress: p.eng.Progress,
+		Subset:   p.eng.Subset,
+	}
+}
+
+// build maps a design point to a runnable scenario plus the lifted SLAs.
+func (p *Plan) build(pt design.Point) (core.Scenario, []sla.SLA, error) {
+	sc := p.base
+	sc.Name = pt.Key()
+	for name, v := range pt.Assignments() {
+		if err := paramAppliers[name](&sc, any(v)); err != nil {
+			return core.Scenario{}, nil, err
+		}
+	}
+	return sc, p.slas, nil
+}
+
+// Plan resolves a parsed SIMULATE query into an executable Plan without
+// running anything: defaults and WITH overrides, the design space, the
+// lifted SLAs and the screening decision.
+func (e *Engine) Plan(q *Query) (*Plan, error) {
+	if len(q.Set) > 0 {
+		return nil, fmt.Errorf("wtql: SET statements have no execution plan")
+	}
 	if q.Metric != "availability" {
 		return nil, fmt.Errorf("wtql: unsupported SIMULATE target %q (only 'availability')", q.Metric)
 	}
@@ -676,28 +771,18 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 		}
 	}
 
-	book := cost.DefaultPriceBook()
-	explorer := &core.Explorer{
+	plan := &Plan{
+		Query: q,
 		Space: space,
-		Build: func(p design.Point) (core.Scenario, []sla.SLA, error) {
-			sc := base
-			sc.Name = p.Key()
-			for name, v := range p.Assignments() {
-				if err := paramAppliers[name](&sc, any(v)); err != nil {
-					return core.Scenario{}, nil, err
-				}
-			}
-			return sc, slas, nil
-		},
-		Runner: core.Runner{
+		eng:   e,
+		base:  base,
+		runner: core.Runner{
 			Trials: trials, TargetCI: targetCI, Workers: e.TrialWorkers,
 			CRN: crn, Antithetic: antithetic, FailureBias: failureBias,
 		},
-		Prune:    prune,
-		Workers:  workers,
-		Cache:    e.Cache,
-		Gate:     e.Gate,
-		Progress: e.Progress,
+		slas:    slas,
+		prune:   prune,
+		workers: workers,
 	}
 	// Screening is sound for this query only when the WHERE filter is
 	// exactly the conjunction the screen can decide — availability
@@ -709,18 +794,38 @@ func (e *Engine) RunContext(ctx context.Context, q *Query) (*ResultSet, error) {
 		if !screenMarginSet {
 			margin = core.DefaultScreenMargin
 		}
-		explorer.Screen = &core.ScreenRule{Margin: margin}
+		plan.screen = &core.ScreenRule{Margin: margin}
 	}
-	exploration, err := explorer.RunContext(ctx)
-	if err != nil {
-		return nil, err
-	}
+	return plan, nil
+}
 
-	// Assemble rows.
-	rs := &ResultSet{Query: q, Executed: exploration.Executed,
-		Pruned: exploration.Pruned, Screened: exploration.Screened,
-		CacheHits: exploration.CacheHits}
-	for _, out := range exploration.Outcomes {
+// Assemble turns committed point outcomes into the query's final
+// ResultSet — metric rows, locally-computed cost columns, WHERE
+// filtering, ORDER BY/LIMIT and the display columns. It is the second
+// half of RunContext and, equally, the fleet coordinator's merge step:
+// the outcomes may come from a local explorer or be reconstructed from
+// worker NDJSON streams in global point order, and identical outcomes
+// assemble into byte-identical tables.
+func (p *Plan) Assemble(outcomes []core.PointOutcome) (*ResultSet, error) {
+	q := p.Query
+	e := p.eng
+	base := p.base
+	book := cost.DefaultPriceBook()
+	rs := &ResultSet{Query: q}
+	for _, out := range outcomes {
+		switch {
+		case out.Pruned:
+			rs.Pruned++
+		case out.Screened:
+			rs.Screened++
+		default:
+			rs.Executed++
+			if out.FromCache {
+				rs.CacheHits++
+			}
+		}
+	}
+	for _, out := range outcomes {
 		row := Row{
 			Config:   map[string]string{},
 			Metrics:  map[string]float64{},
