@@ -15,7 +15,8 @@
 //	GET    /v1/jobs/{id}  one job
 //	DELETE /v1/jobs/{id}  cancel a running job
 //	GET    /v1/cache      trial-cache and pool statistics
-//	GET    /v1/healthz    liveness
+//	GET    /v1/fleet      fleet membership and per-member health
+//	GET    /v1/healthz    liveness ("ok", or "draining" during shutdown)
 //
 // Fleet mode: a set of workers plus one coordinator form a sharded wind
 // tunnel. Every member gets the same -peers list (the worker URLs);
@@ -27,6 +28,17 @@
 //	windtunneld -addr :8867 -cache-dir /var/wt/w1 -peers http://h1:8867,http://h2:8867 -self http://h1:8867
 //	windtunneld -addr :8867 -cache-dir /var/wt/w2 -peers http://h1:8867,http://h2:8867 -self http://h2:8867
 //	windtunneld -addr :8866 -coordinator -peers http://h1:8867,http://h2:8867
+//
+// The coordinator tolerates worker failures: a torn or stalled stream
+// (see -stream-idle) re-plans only that shard's undelivered points onto
+// the surviving workers with exponential backoff, bounded by
+// -shard-retries; when no worker can take a shard the coordinator
+// executes the remainder itself and flags the job "degraded". A health
+// monitor probes every member's /v1/healthz and routes shard planning
+// and cache peering around suspect or down members.
+//
+// -chaos enables deterministic fault injection (dropped streams,
+// delays, 500s, connection resets) for exercising those paths.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new queries are
 // refused with 503, in-flight jobs stream to completion within the
@@ -63,16 +75,29 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated fleet worker URLs (same list on every member)")
 	self := flag.String("self", "", "this worker's own URL within -peers (enables cache peering)")
 	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard queries across -peers workers")
+	streamIdle := flag.Duration("stream-idle", 0, "coordinator per-stream idle deadline before failover (0 = 2m)")
+	shardRetries := flag.Int("shard-retries", 0, "max workers a shard fails over across before coordinator-local execution (0 = 3)")
+	chaos := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.05,delay=0.1,delay-max=200ms,drop=0.05,reset=0.05")
 	flag.Parse()
 
 	cfg := service.Config{
-		Trials:       *trials,
-		PoolSize:     *pool,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		Peers:        splitPeers(*peers),
-		Self:         *self,
-		Coordinator:  *coordinator,
+		Trials:            *trials,
+		PoolSize:          *pool,
+		CacheEntries:      *cacheEntries,
+		CacheDir:          *cacheDir,
+		Peers:             splitPeers(*peers),
+		Self:              *self,
+		Coordinator:       *coordinator,
+		StreamIdleTimeout: *streamIdle,
+		MaxShardRetries:   *shardRetries,
+	}
+	if *chaos != "" {
+		fcfg, err := service.ParseFaultConfig(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Chaos = service.NewFaultInjector(fcfg)
+		log.Printf("windtunneld running with CHAOS INJECTION enabled: %s", *chaos)
 	}
 	if *storePath != "" {
 		store, err := results.Load(*storePath)
@@ -87,6 +112,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer svc.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errCh := make(chan error, 1)

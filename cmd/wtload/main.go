@@ -13,7 +13,10 @@
 //
 // Each request POSTs the query to /v1/query and consumes the whole
 // NDJSON stream; a request counts as successful only when the stream
-// terminates with a result event. The default query is a small
+// terminates with a result event, after up to -retries retried
+// attempts. The report includes retry totals, an error breakdown and
+// the slowest request; the exit status is non-zero when any request
+// ultimately failed. The default query is a small
 // replication sweep so every client resolves to the same cache keys —
 // the worst case for lock contention and the best case for reuse.
 package main
@@ -49,6 +52,7 @@ func main() {
 	clients := flag.Int("clients", 100, "concurrent clients")
 	requests := flag.Int("requests", 0, "total requests across all clients (0 = one per client)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "abort the whole run after this duration")
+	retries := flag.Int("retries", 2, "per-request retries before a request counts as failed")
 	flag.Parse()
 
 	if *requests <= 0 {
@@ -73,12 +77,13 @@ func main() {
 		*requests, *clients, base)
 
 	var (
-		next      atomic.Int64
-		okCount   atomic.Int64
-		failCount atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration
-		firstErr  error
+		next       atomic.Int64
+		okCount    atomic.Int64
+		failCount  atomic.Int64
+		retryCount atomic.Int64
+		mu         sync.Mutex
+		latencies  []time.Duration
+		errCounts  = map[string]int64{}
 	)
 	client := &http.Client{}
 	start := time.Now()
@@ -91,15 +96,25 @@ func main() {
 				if next.Add(1) > int64(*requests) || ctx.Err() != nil {
 					return
 				}
+				// One request = up to 1+retries attempts; it ultimately
+				// fails only when every attempt did. Latency covers the
+				// whole request including retried attempts — that is what
+				// the caller experienced.
 				t0 := time.Now()
-				err := runOnce(ctx, client, base, body)
+				var err error
+				for attempt := 0; attempt <= *retries; attempt++ {
+					if attempt > 0 {
+						retryCount.Add(1)
+					}
+					if err = runOnce(ctx, client, base, body); err == nil || ctx.Err() != nil {
+						break
+					}
+				}
 				lat := time.Since(t0)
 				if err != nil {
 					failCount.Add(1)
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
+					errCounts[errKey(err)]++
 					mu.Unlock()
 					continue
 				}
@@ -115,20 +130,41 @@ func main() {
 
 	ok, failed := okCount.Load(), failCount.Load()
 	fmt.Printf("requests:   %d ok, %d failed in %s\n", ok, failed, elapsed.Round(time.Millisecond))
+	fmt.Printf("retries:    %d\n", retryCount.Load())
 	if ok > 0 {
 		fmt.Printf("throughput: %.1f queries/s\n", float64(ok)/elapsed.Seconds())
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		fmt.Printf("latency:    p50 %s  p95 %s  p99 %s  max %s\n",
-			pct(latencies, 50), pct(latencies, 95), pct(latencies, 99),
-			latencies[len(latencies)-1].Round(time.Millisecond))
+		fmt.Printf("latency:    p50 %s  p95 %s  p99 %s\n",
+			pct(latencies, 50), pct(latencies, 95), pct(latencies, 99))
+		fmt.Printf("slowest:    %s\n", latencies[len(latencies)-1].Round(time.Millisecond))
 	}
-	if firstErr != nil {
-		fmt.Printf("first error: %v\n", firstErr)
+	if len(errCounts) > 0 {
+		keys := make([]string, 0, len(errCounts))
+		for k := range errCounts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("error:      %dx %s\n", errCounts[k], k)
+		}
 	}
 	printCacheStats(base, client)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// errKey buckets an error for the breakdown: the first line, truncated,
+// so a thousand identical failures fold into one report row.
+func errKey(err error) string {
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	if len(msg) > 120 {
+		msg = msg[:120] + "..."
+	}
+	return msg
 }
 
 // runOnce issues one query and drains its stream, requiring a terminal

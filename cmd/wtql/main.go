@@ -189,6 +189,7 @@ func runRemote(ctx context.Context, base, text string, trials int, progress bool
 			Table     string             `json:"table"`
 			CacheHits int                `json:"cache_hits"`
 			Executed  int                `json:"executed"`
+			Degraded  bool               `json:"degraded"`
 		}
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return fmt.Errorf("bad stream line %q: %w", line, err)
@@ -214,6 +215,13 @@ func runRemote(ctx context.Context, base, text string, trials int, progress bool
 		case "result":
 			sawResult = true
 			fmt.Print(ev.Table)
+			if ev.Degraded {
+				// The table is still exact — degraded means the fleet did
+				// not serve part of the sweep, the coordinator did. Warn on
+				// stderr so scripted runs (and CI) can grep for it without
+				// disturbing the table bytes on stdout.
+				fmt.Fprintln(os.Stderr, "wtql: warning: job ran degraded (coordinator executed part of the sweep locally)")
+			}
 			if progress {
 				fmt.Fprintf(os.Stderr, "%d executed, %d cache hits, %s elapsed\n",
 					ev.Executed, ev.CacheHits, time.Since(start).Round(time.Millisecond))

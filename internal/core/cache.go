@@ -30,6 +30,18 @@ type TrialCache interface {
 	Put(key string, r *RunResult)
 }
 
+// ContextTrialCache is an optional TrialCache extension for caches
+// whose lookups do remote I/O (e.g. the serving layer's peer-fetch
+// tier). The Explorer prefers GetContext when available, passing the
+// sweep's context, so a cancelled job abandons in-flight remote fetches
+// instead of leaving them running to their own timeouts.
+type ContextTrialCache interface {
+	TrialCache
+	// GetContext is Get bounded by ctx; a cancelled context must abort
+	// any remote fetch and report a miss.
+	GetContext(ctx context.Context, key string) (*RunResult, bool)
+}
+
 // Gate bounds simulation concurrency across independently-running
 // sweeps. The serving layer injects one shared gate into every job's
 // Explorer so the whole daemon respects a single worker budget, however

@@ -421,7 +421,16 @@ func (e *Explorer) runPoint(ctx context.Context, p design.Point) (PointOutcome, 
 	)
 	if e.Cache != nil {
 		key = CacheKey(sc, runner)
-		if hit, ok := e.Cache.Get(key); ok {
+		var hit *RunResult
+		var ok bool
+		if cc, hasCtx := e.Cache.(ContextTrialCache); hasCtx {
+			// Context-aware caches (remote peer tiers) abandon in-flight
+			// fetches when the sweep is cancelled.
+			hit, ok = cc.GetContext(ctx, key)
+		} else {
+			hit, ok = e.Cache.Get(key)
+		}
+		if ok {
 			// Clone so the SLA verdicts written below never touch the
 			// shared cached copy.
 			res = hit.cloneForSLA()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,8 +54,13 @@ type Cache struct {
 	peers      *Ring
 	self       string
 	peerClient *http.Client
+	// health, when non-nil, short-circuits fetches to peers the monitor
+	// has marked down: a dead peer costs a map lookup per key, not a
+	// connect timeout.
+	health *Health
 
 	hits, diskHits, peerHits, misses, puts, evictions uint64
+	peerRetries, peerSkips                            uint64
 }
 
 type cacheEntry struct {
@@ -114,8 +120,23 @@ func (c *Cache) EnablePeering(peers []string, self string, client *http.Client) 
 	c.mu.Unlock()
 }
 
+// SetHealth attaches a health monitor consulted before peer fetches.
+func (c *Cache) SetHealth(h *Health) {
+	c.mu.Lock()
+	c.health = h
+	c.mu.Unlock()
+}
+
 // Get implements core.TrialCache.
 func (c *Cache) Get(key string) (*core.RunResult, bool) {
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext implements core.ContextTrialCache: Get with the sweep's
+// context flowing into the peer-fetch tier, so a cancelled job abandons
+// an in-flight peer fetch immediately instead of riding out the fetch
+// client's own timeout.
+func (c *Cache) GetContext(ctx context.Context, key string) (*core.RunResult, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -131,7 +152,7 @@ func (c *Cache) Get(key string) (*core.RunResult, bool) {
 			return c.promote(key, res, &c.diskHits), true
 		}
 	}
-	if res, ok := c.fetchPeer(key); ok {
+	if res, ok := c.fetchPeer(ctx, key); ok {
 		res = c.promote(key, res, &c.peerHits)
 		if c.dir != "" {
 			// Re-replicate onto the local disk tier so the next restart
@@ -170,11 +191,24 @@ func (c *Cache) promote(key string, res *core.RunResult, tier *uint64) *core.Run
 
 // fetchPeer asks the key's hash-owner peer for the entry. It never
 // recurses (peers answer from their memory+disk tiers only, via Peek)
-// and treats every failure — no peering, no eligible peer, connection
-// refused, 404, corrupt body — as a plain miss.
-func (c *Cache) fetchPeer(key string) (*core.RunResult, bool) {
+// and treats every terminal failure — no peering, no eligible peer,
+// connection refused, 404, corrupt body — as a plain miss. Two
+// robustness refinements on top:
+//
+//   - a peer the health monitor holds down is skipped outright, so a
+//     dead fleet member costs a map lookup per key instead of a connect
+//     timeout per key;
+//   - a transient answer (429 or any 5xx) gets one short retry before
+//     degrading to a miss, so a peer momentarily overloaded mid-sweep
+//     still hands the entry to the LRU promotion path. The retry is
+//     counted in peer_retries; peer_hits only ever counts entries
+//     actually served, so transient errors never poison the hit stats.
+//
+// ctx is the calling sweep's context: a cancelled job aborts the fetch
+// (and the retry backoff) immediately.
+func (c *Cache) fetchPeer(ctx context.Context, key string) (*core.RunResult, bool) {
 	c.mu.Lock()
-	ring, self, client := c.peers, c.self, c.peerClient
+	ring, self, client, health := c.peers, c.self, c.peerClient, c.health
 	c.mu.Unlock()
 	if ring == nil {
 		return nil, false
@@ -183,25 +217,75 @@ func (c *Cache) fetchPeer(key string) (*core.RunResult, bool) {
 	if !ok {
 		return nil, false
 	}
-	resp, err := client.Get(owner + "/v1/cache/" + key)
-	if err != nil {
+	if health != nil && !health.Reachable(owner) {
+		c.mu.Lock()
+		c.peerSkips++
+		c.mu.Unlock()
 		return nil, false
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
+
+	// attempt returns the decoded entry, the HTTP status (0 on transport
+	// error) and whether the fetch succeeded.
+	attempt := func() (*core.RunResult, int, bool) {
+		req, err := http.NewRequestWithContext(ctx, "GET", owner+"/v1/cache/"+key, nil)
+		if err != nil {
+			return nil, 0, false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if health != nil && ctx.Err() == nil {
+				health.ReportFailure(owner, err)
+			}
+			return nil, 0, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return nil, resp.StatusCode, false
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntryBytes))
+		if err != nil {
+			return nil, 0, false
+		}
+		var rec diskRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, resp.StatusCode, false
+		}
+		return rec.result(), resp.StatusCode, true
+	}
+
+	res, code, ok := attempt()
+	if !ok && transientPeerStatus(code) && ctx.Err() == nil {
+		c.mu.Lock()
+		c.peerRetries++
+		c.mu.Unlock()
+		select {
+		case <-time.After(peerRetryDelay):
+		case <-ctx.Done():
+			return nil, false
+		}
+		res, _, ok = attempt()
+	}
+	if !ok {
 		return nil, false
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntryBytes))
-	if err != nil {
-		return nil, false
+	if health != nil {
+		health.ReportSuccess(owner)
 	}
-	var rec diskRecord
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, false
-	}
-	return rec.result(), true
+	return res, true
 }
+
+// transientPeerStatus reports whether a peer's HTTP status is worth one
+// retry: overload (429) and server-side errors (5xx) are momentary; a
+// 404 is a genuine miss and anything else won't improve in 50ms.
+func transientPeerStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// peerRetryDelay spaces the single transient-status retry. Short on
+// purpose: the alternative to retrying is simulating the point locally,
+// so waiting longer than a few tens of milliseconds loses the trade.
+const peerRetryDelay = 50 * time.Millisecond
 
 // maxCacheEntryBytes bounds a peer response: an entry holds aggregate
 // metric maps plus per-tenant availabilities, far below this.
@@ -282,6 +366,11 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Puts      uint64 `json:"puts"`
 	Evictions uint64 `json:"evictions"`
+	// PeerRetries counts transient-status (429/5xx) peer-fetch retries;
+	// PeerSkips counts fetches short-circuited because the health
+	// monitor held the owner peer down.
+	PeerRetries uint64 `json:"peer_retries"`
+	PeerSkips   uint64 `json:"peer_skips"`
 }
 
 // HitRate returns hits / lookups, or 0 before any lookup.
@@ -298,14 +387,16 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Entries:   c.ll.Len(),
-		Capacity:  c.maxEntries,
-		Hits:      c.hits,
-		DiskHits:  c.diskHits,
-		PeerHits:  c.peerHits,
-		Misses:    c.misses,
-		Puts:      c.puts,
-		Evictions: c.evictions,
+		Entries:     c.ll.Len(),
+		Capacity:    c.maxEntries,
+		Hits:        c.hits,
+		DiskHits:    c.diskHits,
+		PeerHits:    c.peerHits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		PeerRetries: c.peerRetries,
+		PeerSkips:   c.peerSkips,
 	}
 }
 

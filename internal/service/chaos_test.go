@@ -1,0 +1,164 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseFaultConfig covers the -chaos flag grammar.
+func TestParseFaultConfig(t *testing.T) {
+	cfg, err := ParseFaultConfig("seed=7,err=0.05,delay=0.1,delay-max=200ms,drop=0.25,reset=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.ErrProb != 0.05 || cfg.DelayProb != 0.1 ||
+		cfg.DelayMax != 200*time.Millisecond || cfg.DropProb != 0.25 || cfg.ResetProb != 0.5 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := ParseFaultConfig(""); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+	for _, bad := range []string{"wat=1", "err=2", "err=-0.1", "seed", "delay-max=fast"} {
+		if _, err := ParseFaultConfig(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestChaosDeterministic: two injectors with the same seed draw the
+// same fault sequence — the property that makes a chaos failure
+// reproducible.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ErrProb: 0.3, DropProb: 0.3, ResetProb: 0.3}
+	a, b := NewFaultInjector(cfg), NewFaultInjector(cfg)
+	for i := 0; i < 200; i++ {
+		pa, pb := a.plan(), b.plan()
+		if pa != pb {
+			t.Fatalf("plans diverged at request %d: %+v vs %+v", i, pa, pb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	st := a.Stats()
+	if st.Requests != 200 || st.Errors == 0 || st.Drops == 0 || st.Resets == 0 {
+		t.Fatalf("200 requests at 30%% rates injected nothing: %+v", st)
+	}
+}
+
+// TestChaosInjectsError: ErrProb=1 turns every data-plane request into
+// a 500 — except healthz, which stays exempt so the health monitor
+// keeps seeing the truth.
+func TestChaosInjectsError(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	f := NewFaultInjector(FaultConfig{ErrProb: 1})
+	ts := httptest.NewServer(f.Wrap(inner))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("chaos err request returned %d, want 500", resp.StatusCode)
+	}
+
+	hz, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz not exempt from chaos: %d", hz.StatusCode)
+	}
+	if st := f.Stats(); st.Errors != 1 || st.Requests != 1 {
+		t.Fatalf("chaos stats after 1 data + 1 healthz request: %+v", st)
+	}
+}
+
+// TestChaosDropTruncatesStream: DropProb=1 ends a streaming body early
+// with a clean EOF, and the server survives to serve the next request.
+func TestChaosDropTruncatesStream(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, _ := w.(http.Flusher)
+		for i := 0; i < 100; i++ {
+			w.Write([]byte(strings.Repeat("x", 32) + "\n"))
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	})
+	f := NewFaultInjector(FaultConfig{Seed: 3, DropProb: 1})
+	ts := httptest.NewServer(f.Wrap(inner))
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("drop should end the body cleanly, got read error %v", err)
+		}
+		if len(body) >= 100*33 {
+			t.Fatalf("drop did not truncate: %d bytes through", len(body))
+		}
+	}
+	if st := f.Stats(); st.Drops != 3 {
+		t.Fatalf("drops = %d, want 3: %+v", st.Drops, st)
+	}
+}
+
+// TestChaosFleetSurvives is the in-process version of the CI chaos
+// smoke: a two-worker fleet whose workers drop and reset streams at
+// high probability must still converge to the exact single-daemon
+// table with zero job-level errors — failover and the shard retry
+// budget absorb every injected fault.
+func TestChaosFleetSurvives(t *testing.T) {
+	_, single := newTestServer(t, Config{PoolSize: 2})
+	want := lastEvent(t, postQuery(t, single, smallQuery))
+
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		srv, err := New(Config{
+			PoolSize: 2,
+			Chaos:    NewFaultInjector(FaultConfig{Seed: int64(11 + i), DropProb: 0.4, ResetProb: 0.2}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	_, cts := newTestServer(t, Config{Coordinator: true, Peers: urls, MaxShardRetries: 10})
+
+	events := postQuery(t, cts, smallQuery)
+	for _, ev := range events {
+		if ev["type"] == "error" {
+			t.Fatalf("chaos fleet surfaced a job-level error: %v", ev)
+		}
+	}
+	final := lastEvent(t, events)
+	if final["type"] != "result" {
+		t.Fatalf("chaos fleet ended with %v", final)
+	}
+	if final["table"] != want["table"] {
+		t.Fatalf("chaos fleet table differs from single-daemon run:\n--- single ---\n%v--- chaos ---\n%v",
+			want["table"], final["table"])
+	}
+}

@@ -6,8 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/design"
@@ -15,30 +20,119 @@ import (
 )
 
 // fleet is the coordinator's side of the sharded wind tunnel: the same
-// consistent-hash ring the workers peer over, plus the HTTP client the
+// consistent-hash ring the workers peer over, the health monitor that
+// tracks which members are worth talking to, and the HTTP client the
 // coordinator fans queries out with. A sweep's design points are hashed
 // on core.CacheKey, so a point always lands on the worker that already
 // holds its cached trials; the workers' NDJSON streams are merged back
 // in global point order, and the in-order commit discipline on each
 // worker makes the merged table byte-identical to a single-daemon run.
+//
+// Fault tolerance: like a fan-array wind tunnel that keeps prescribing
+// flow when individual fans degrade, the fleet keeps serving sweeps
+// when individual workers die. A failed or stalled stream triggers a
+// re-plan of only that shard's undelivered point indices onto the next
+// healthy ring owners (exponential backoff + jitter, bounded by a
+// per-shard retry budget); outcomes are deterministic per cache key and
+// assembled by global index, so the merged table stays byte-identical
+// however many times a shard moves. Exhausting the budget degrades to
+// coordinator-local execution of the remainder instead of failing the
+// job, surfaced as `degraded` in the job's NDJSON events.
 type fleet struct {
 	ring   *Ring
 	client *http.Client
+	health *Health
+
+	// maxShardRetries bounds how many workers a shard chain may fail
+	// over across before its remainder runs coordinator-local.
+	maxShardRetries int
+	// backoffBase/backoffMax shape the exponential retry backoff.
+	backoffBase, backoffMax time.Duration
+	// idleTimeout is the per-stream liveness deadline: a worker stream
+	// that delivers no NDJSON event for this long is treated as failed.
+	idleTimeout time.Duration
 }
 
-func newFleet(workers []string) *fleet {
-	// No client timeout: a shard legitimately streams for as long as its
-	// slowest simulation; cancellation rides the request context.
-	return &fleet{ring: NewRing(workers), client: &http.Client{}}
+const (
+	defaultMaxShardRetries = 3
+	defaultBackoffBase     = 100 * time.Millisecond
+	defaultBackoffMax      = 2 * time.Second
+	defaultStreamIdle      = 2 * time.Minute
+)
+
+// localWorker labels point events the coordinator executed itself after
+// exhausting a shard's retry budget (degraded mode).
+const localWorker = "coordinator"
+
+func newFleet(workers []string, health *Health, idleTimeout time.Duration, maxShardRetries int) *fleet {
+	if idleTimeout <= 0 {
+		idleTimeout = defaultStreamIdle
+	}
+	if maxShardRetries <= 0 {
+		maxShardRetries = defaultMaxShardRetries
+	}
+	return &fleet{
+		ring: NewRing(workers),
+		// The transport bounds connection establishment — a worker that
+		// hangs in connect() or the TLS handshake must not wedge job
+		// start — while the client has no overall timeout: a shard
+		// legitimately streams for as long as its slowest simulation.
+		// Liveness *during* the stream is the idle deadline's job, and
+		// cancellation rides the request context.
+		client: &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 15 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		}},
+		health:          health,
+		maxShardRetries: maxShardRetries,
+		backoffBase:     defaultBackoffBase,
+		backoffMax:      defaultBackoffMax,
+		idleTimeout:     idleTimeout,
+	}
 }
 
-// fleetMsg is one parsed line (or the terminal state) of a worker
+// backoff returns the sleep before a shard's attempt-th reassignment:
+// exponential in the attempt with uniform jitter in [d/2, d), so
+// simultaneous failovers across shards do not stampede the survivors.
+func (f *fleet) backoff(attempt int) time.Duration {
+	d := f.backoffBase << (attempt - 1)
+	if d > f.backoffMax || d <= 0 {
+		d = f.backoffMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + jitterRand(half))
+}
+
+// jitterRand draws a uniform int in [0, n) for backoff jitter; it is a
+// seam so tests never depend on global RNG state.
+var jitterRand = func(n int64) int64 { return rand.Int63n(n) }
+
+// shard is one worker's assignment of global point indices plus its
+// failover bookkeeping: how many workers the chain has burned through
+// and which, so a re-plan never hands indices back to a worker that
+// already failed them.
+type shard struct {
+	worker  string
+	points  []int
+	attempt int
+	tried   map[string]bool
+}
+
+// fleetMsg is one parsed line (or the terminal state) of a shard
 // stream.
 type fleetMsg struct {
-	worker string
-	ev     *PointEvent
-	err    error // set only on the terminal message
-	done   bool
+	shard *shard
+	ev    *PointEvent
+	err   error // set only on the terminal message
+	done  bool
 }
 
 // executeFleet runs one admitted job by sharding it across the fleet.
@@ -80,60 +174,217 @@ func (s *Server) executeFleet(ctx context.Context, id, query string, trials int,
 
 // runFleetPlan shards the planned sweep, streams the merged per-point
 // events in global point order, and assembles the final result set.
+// Worker failures trigger shard failover; exhausted retry budgets
+// degrade the remainder to coordinator-local execution.
 func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.Plan,
 	onEvent func(ev PointEvent, out core.PointOutcome)) (*wtql.ResultSet, error) {
+	f := s.fleet
 	keys, err := plan.PointKeys()
 	if err != nil {
 		return nil, err
 	}
 	total := len(keys)
+	points := plan.Points()
+	if total == 0 {
+		return plan.Assemble(nil)
+	}
 
-	// Group point indices by their ring owner, preserving first-seen
-	// worker order for the fan-out.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan fleetMsg, 16)
+
+	var (
+		active   = 0
+		degraded = false
+	)
+
+	// launchStream posts one shard to its worker after an optional
+	// backoff. The terminal done message is delivered unconditionally —
+	// the merge loop drains ch until every launched stream reports done.
+	launchStream := func(sh *shard, delay time.Duration) {
+		active++
+		go func() {
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-fctx.Done():
+					ch <- fleetMsg{shard: sh, err: fctx.Err(), done: true}
+					return
+				}
+			}
+			f.stream(fctx, sh, query, plan.Trials(), ch)
+		}()
+	}
+
+	// launchLocal runs indices on the coordinator's own engine — the
+	// degraded last resort when no healthy worker can take them. The
+	// job keeps going rather than failing; the degradation is surfaced
+	// on the job record and every locally-served point event.
+	launchLocal := func(indices []int) {
+		if len(indices) == 0 {
+			return
+		}
+		sort.Ints(indices) // Subset wants strictly ascending global indices
+		if !degraded {
+			degraded = true
+			s.markDegraded(id)
+		}
+		sh := &shard{worker: localWorker, points: indices}
+		active++
+		go func() {
+			err := plan.RunSubset(fctx, indices, func(out core.PointOutcome) {
+				ev := pointEvent(0, 0, out)
+				select {
+				case ch <- fleetMsg{shard: sh, ev: &ev}:
+				case <-fctx.Done():
+				}
+			})
+			ch <- fleetMsg{shard: sh, err: err, done: true}
+		}()
+	}
+
+	// Initial assignment: group point indices by their ring owner among
+	// assignable members (health skips down and draining workers at
+	// planning time), preserving first-seen worker order for the
+	// fan-out. With no assignable worker at all the whole sweep runs
+	// coordinator-local.
 	assign := make(map[string][]int)
 	var order []string
+	var localIdx []int
 	for i, k := range keys {
-		w, ok := s.fleet.ring.Owner(k)
+		w, ok := f.ring.OwnerSkipping(k, func(node string) bool { return !f.health.Assignable(node) })
 		if !ok {
-			return nil, fmt.Errorf("service: fleet has no workers")
+			localIdx = append(localIdx, i)
+			continue
 		}
 		if assign[w] == nil {
 			order = append(order, w)
 		}
 		assign[w] = append(assign[w], i)
 	}
-
-	fctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	ch := make(chan fleetMsg, 2*len(order))
 	for _, w := range order {
-		go s.fleet.stream(fctx, w, query, plan.Trials(), assign[w], ch)
+		launchStream(&shard{worker: w, points: assign[w], tried: make(map[string]bool)}, 0)
 	}
+	launchLocal(localIdx)
 
-	points := plan.Points()
-	outcomes := make([]core.PointOutcome, total)
-	pending := make(map[int]PointEvent)
-	nextIdx, committed, active := 0, 0, len(order)
-	var firstErr error
+	var (
+		received  = make([]bool, total)
+		outcomes  = make([]core.PointOutcome, total)
+		pending   = make(map[int]PointEvent)
+		nextIdx   = 0
+		committed = 0
+		firstErr  error
+	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel() // tear down the remaining shards
+		}
+	}
 	for active > 0 {
 		m := <-ch
 		switch {
 		case m.done:
 			active--
-			if m.err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("service: worker %s: %w", m.worker, m.err)
-				cancel() // tear down the other shards
+			w := m.shard.worker
+			if m.err == nil {
+				if w != localWorker {
+					f.health.ReportSuccess(w)
+				}
+				continue
 			}
+			if w == localWorker {
+				// Local execution is the last resort; its failure is the
+				// job's failure.
+				fail(fmt.Errorf("service: degraded local execution: %w", m.err))
+				continue
+			}
+			f.health.ReportFailure(w, m.err)
+			if firstErr != nil || ctx.Err() != nil {
+				continue // already failing or cancelled: just drain
+			}
+			// Failover: re-plan only this shard's undelivered indices.
+			// Points already streamed (committed or pending in the
+			// reorder buffer) are complete, deterministic outcomes — a
+			// worker that died after delivering its last point but
+			// before its result line cost the job nothing.
+			var rem []int
+			for _, gi := range m.shard.points {
+				if !received[gi] {
+					rem = append(rem, gi)
+				}
+			}
+			if len(rem) == 0 {
+				continue
+			}
+			attempt := m.shard.attempt + 1
+			tried := make(map[string]bool, len(m.shard.tried)+1)
+			for t := range m.shard.tried {
+				tried[t] = true
+			}
+			tried[w] = true
+			if attempt > f.maxShardRetries {
+				launchLocal(rem)
+				continue
+			}
+			// Next ring owner among healthy, untried members — per key,
+			// since the failed owner's keys spread over the survivors. The
+			// skip predicate is key-independent, so either every key finds
+			// an owner or none does: when none does (every untried member
+			// is unhealthy too), forget the tried history and accept any
+			// reachable member except the one that just failed — after the
+			// backoff, a previously-failed worker may well have recovered,
+			// and trying it beats degrading to local execution while
+			// retry budget remains.
+			skip := func(node string) bool {
+				return tried[node] || !f.health.Assignable(node)
+			}
+			if _, any := f.ring.OwnerSkipping(keys[rem[0]], skip); !any {
+				tried = map[string]bool{w: true}
+				skip = func(node string) bool {
+					return tried[node] || !f.health.Reachable(node)
+				}
+			}
+			retry := make(map[string][]int)
+			var retryOrder []string
+			var exhausted []int
+			for _, gi := range rem {
+				nw, ok := f.ring.OwnerSkipping(keys[gi], skip)
+				if !ok {
+					exhausted = append(exhausted, gi)
+					continue
+				}
+				if retry[nw] == nil {
+					retryOrder = append(retryOrder, nw)
+				}
+				retry[nw] = append(retry[nw], gi)
+			}
+			delay := f.backoff(attempt)
+			for _, nw := range retryOrder {
+				launchStream(&shard{worker: nw, points: retry[nw], attempt: attempt, tried: tried}, delay)
+			}
+			launchLocal(exhausted)
+
 		case firstErr != nil:
 			// Already failing: drain without committing.
+
 		default:
 			ev := *m.ev
 			if ev.Index < 0 || ev.Index >= total {
-				firstErr = fmt.Errorf("service: worker %s streamed out-of-range point index %d", m.worker, ev.Index)
-				cancel()
+				fail(fmt.Errorf("service: worker %s streamed out-of-range point index %d", m.shard.worker, ev.Index))
 				continue
 			}
-			ev.Worker = m.worker
+			if received[ev.Index] {
+				// Outcomes are deterministic per cache key, so a
+				// duplicate delivery (possible only in pathological
+				// failover interleavings) is identical — keep the first.
+				continue
+			}
+			received[ev.Index] = true
+			ev.Worker = m.shard.worker
+			if m.shard.worker == localWorker {
+				ev.Degraded = true
+			}
 			pending[ev.Index] = ev
 			// Commit the contiguous prefix: merged events leave in
 			// global point order with coordinator-level done/total, the
@@ -168,22 +419,47 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 	return plan.Assemble(outcomes)
 }
 
-// stream posts one worker's shard and forwards its point events to ch,
-// always terminating with exactly one done message. The terminal send
-// is unconditionally blocking: the merge loop drains ch until every
-// stream has reported done, so the send always completes — bailing out
-// on ctx here instead would leak the done message and wedge the merge.
-func (f *fleet) stream(ctx context.Context, worker, query string, trials int, points []int, ch chan<- fleetMsg) {
+// stream posts one shard and forwards its point events to ch, always
+// terminating with exactly one done message. The terminal send is
+// unconditionally blocking: the merge loop drains ch until every stream
+// has reported done, so the send always completes — bailing out on ctx
+// here instead would leak the done message and wedge the merge. An idle
+// watchdog bounds the gap between NDJSON events: a worker that accepted
+// the shard and then hung (no events, connection alive) is treated as
+// failed so the merge can re-plan, instead of stalling the job forever.
+func (f *fleet) stream(ctx context.Context, sh *shard, query string, trials int, ch chan<- fleetMsg) {
 	fail := func(err error) {
-		ch <- fleetMsg{worker: worker, err: err, done: true}
+		ch <- fleetMsg{shard: sh, err: err, done: true}
 	}
-	body, err := json.Marshal(QueryRequest{Query: query, Trials: trials, Points: points})
+	body, err := json.Marshal(QueryRequest{Query: query, Trials: trials, Points: sh.points})
 	if err != nil {
 		fail(err)
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, "POST",
-		strings.TrimRight(worker, "/")+"/v1/query", bytes.NewReader(body))
+
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	var stalled atomic.Bool
+	var idle *time.Timer
+	if f.idleTimeout > 0 {
+		idle = time.AfterFunc(f.idleTimeout, func() {
+			stalled.Store(true)
+			scancel()
+		})
+		defer idle.Stop()
+	}
+	// wrapErr distinguishes a tripped idle deadline from a plain
+	// cancellation or transport error, so the failover path (and the
+	// operator reading the logs) sees the stall for what it was.
+	wrapErr := func(err error) error {
+		if stalled.Load() {
+			return fmt.Errorf("stream idle past %s: %w", f.idleTimeout, err)
+		}
+		return err
+	}
+
+	req, err := http.NewRequestWithContext(sctx, "POST",
+		strings.TrimRight(sh.worker, "/")+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		fail(err)
 		return
@@ -191,7 +467,7 @@ func (f *fleet) stream(ctx context.Context, worker, query string, trials int, po
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := f.client.Do(req)
 	if err != nil {
-		fail(err)
+		fail(wrapErr(err))
 		return
 	}
 	defer resp.Body.Close()
@@ -213,8 +489,11 @@ func (f *fleet) stream(ctx context.Context, worker, query string, trials int, po
 		if err := dec.Decode(&raw); err == io.EOF {
 			break
 		} else if err != nil {
-			fail(err)
+			fail(wrapErr(err))
 			return
+		}
+		if idle != nil {
+			idle.Reset(f.idleTimeout)
 		}
 		var head struct {
 			Type  string `json:"type"`
@@ -232,9 +511,9 @@ func (f *fleet) stream(ctx context.Context, worker, query string, trials int, po
 				return
 			}
 			select {
-			case ch <- fleetMsg{worker: worker, ev: &pe}:
-			case <-ctx.Done():
-				fail(ctx.Err())
+			case ch <- fleetMsg{shard: sh, ev: &pe}:
+			case <-sctx.Done():
+				fail(wrapErr(sctx.Err()))
 				return
 			}
 		case "error":
@@ -248,7 +527,7 @@ func (f *fleet) stream(ctx context.Context, worker, query string, trials int, po
 		fail(fmt.Errorf("stream ended without a result"))
 		return
 	}
-	ch <- fleetMsg{worker: worker, done: true}
+	ch <- fleetMsg{shard: sh, done: true}
 }
 
 // eventOutcome reconstructs a committed point outcome from a worker's

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHealthStateMachine drives the up/suspect/down transitions with
+// passive observations: SuspectAfter failures suspend new assignments,
+// DownAfter failures cut the member off, and a down member needs
+// UpAfter straight successes back (hysteresis against flapping).
+func TestHealthStateMachine(t *testing.T) {
+	const u = "http://w1"
+	h := NewHealth([]string{u}, HealthConfig{SuspectAfter: 1, DownAfter: 3, UpAfter: 2})
+
+	if h.State(u) != StateUp || !h.Assignable(u) || !h.Reachable(u) {
+		t.Fatal("fresh member must start up (optimistic)")
+	}
+
+	h.ReportFailure(u, fmt.Errorf("boom"))
+	if h.State(u) != StateSuspect {
+		t.Fatalf("1 failure → %v, want suspect", h.State(u))
+	}
+	if h.Assignable(u) {
+		t.Fatal("suspect member still assignable")
+	}
+	if !h.Reachable(u) {
+		t.Fatal("suspect member unreachable — peering should still try it")
+	}
+
+	h.ReportFailure(u, fmt.Errorf("boom"))
+	h.ReportFailure(u, fmt.Errorf("boom"))
+	if h.State(u) != StateDown {
+		t.Fatalf("3 failures → %v, want down", h.State(u))
+	}
+	if h.Reachable(u) {
+		t.Fatal("down member still reachable")
+	}
+
+	// Hysteresis: one success is not enough to leave down.
+	h.ReportSuccess(u)
+	if h.State(u) != StateDown {
+		t.Fatalf("1 success recovered a down member to %v", h.State(u))
+	}
+	h.ReportSuccess(u)
+	if h.State(u) != StateUp || !h.Assignable(u) {
+		t.Fatalf("2 successes → %v, want up", h.State(u))
+	}
+
+	// A suspect member recovers on the first success.
+	h.ReportFailure(u, fmt.Errorf("blip"))
+	h.ReportSuccess(u)
+	if h.State(u) != StateUp {
+		t.Fatalf("suspect did not recover on first success: %v", h.State(u))
+	}
+
+	// Interleaved success resets the failure streak: down needs
+	// *consecutive* failures.
+	h.ReportFailure(u, nil)
+	h.ReportFailure(u, nil)
+	h.ReportSuccess(u)
+	h.ReportFailure(u, nil)
+	h.ReportFailure(u, nil)
+	if h.State(u) == StateDown {
+		t.Fatal("non-consecutive failures took the member down")
+	}
+
+	// Unknown members are up and assignable — health never vetoes
+	// traffic to an address it was not asked to watch.
+	if h.State("http://stranger") != StateUp || !h.Assignable("http://stranger") {
+		t.Fatal("unknown member not treated as up")
+	}
+}
+
+// TestHealthProbe runs one synchronous probe round against a live
+// server and a dead one, then checks recovery probes bring a revived
+// member back.
+func TestHealthProbe(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	t.Cleanup(live.Close)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	h := NewHealth([]string{live.URL, deadURL}, HealthConfig{
+		ProbeTimeout: 500 * time.Millisecond,
+		DownAfter:    2,
+		UpAfter:      1,
+	})
+	h.Probe()
+	if st := h.State(live.URL); st != StateUp {
+		t.Fatalf("live member probed as %v", st)
+	}
+	if st := h.State(deadURL); st != StateSuspect {
+		t.Fatalf("dead member probed as %v after one round, want suspect", st)
+	}
+	h.Probe()
+	if st := h.State(deadURL); st != StateDown {
+		t.Fatalf("dead member probed as %v after two rounds, want down", st)
+	}
+
+	// Recovery: down members keep receiving probes — that is the
+	// recovery path — so a revived member comes back on its own.
+	revived := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	t.Cleanup(revived.Close)
+	h2 := NewHealth([]string{revived.URL}, HealthConfig{DownAfter: 1, UpAfter: 1})
+	h2.ReportFailure(revived.URL, fmt.Errorf("was down"))
+	if h2.State(revived.URL) != StateDown {
+		t.Fatal("setup: member not down")
+	}
+	h2.Probe()
+	if st := h2.State(revived.URL); st != StateUp {
+		t.Fatalf("revived member probed as %v, want up", st)
+	}
+
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d members, want 2", len(snap))
+	}
+	if snap[0].URL > snap[1].URL {
+		t.Fatal("snapshot not sorted by URL")
+	}
+	for _, m := range snap {
+		if m.URL == deadURL && m.LastError == "" {
+			t.Fatal("down member's snapshot carries no last error")
+		}
+	}
+}
+
+// TestHealthStartStop: the background loop probes on its own and Stop
+// terminates it (idempotently).
+func TestHealthStartStop(t *testing.T) {
+	probed := make(chan struct{}, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case probed <- struct{}{}:
+		default:
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	t.Cleanup(ts.Close)
+
+	h := NewHealth([]string{ts.URL}, HealthConfig{ProbeInterval: 20 * time.Millisecond})
+	h.Start()
+	select {
+	case <-probed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background loop never probed")
+	}
+	h.Stop()
+	h.Stop() // idempotent
+}

@@ -60,6 +60,9 @@ type PointEvent struct {
 	Cached   bool               `json:"cached,omitempty"`
 	AllMet   bool               `json:"all_met"`
 	Worker   string             `json:"worker,omitempty"`
+	// Degraded marks a point the coordinator executed locally after
+	// exhausting the owning shard's retry budget.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ResultEvent carries the final result set. Table is the same aligned
@@ -76,6 +79,11 @@ type ResultEvent struct {
 	CacheHits int               `json:"cache_hits"`
 	Settings  map[string]string `json:"settings,omitempty"`
 	Table     string            `json:"table"`
+	// Degraded reports whether any part of the sweep ran
+	// coordinator-local after shard failover was exhausted. Always
+	// serialized (not omitempty) so clients and smoke tests can assert
+	// on it either way.
+	Degraded bool `json:"degraded"`
 }
 
 // ErrorEvent terminates a stream on failure.
@@ -93,10 +101,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheEntry)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.chaos != nil {
+		return s.chaos.Wrap(mux)
+	}
 	return mux
+}
+
+// handleHealthz answers liveness probes. A draining server still
+// answers 200 — it is alive and finishing work — but says so, and the
+// fleet health monitor maps "draining" to suspect: no new shards, no
+// hard failure.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// handleFleet exposes fleet membership and per-member health state.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	mode := "single"
+	switch {
+	case s.cfg.Coordinator:
+		mode = "coordinator"
+	case len(s.cfg.Peers) > 0:
+		mode = "worker"
+	}
+	var members []MemberHealth
+	if s.health != nil {
+		members = s.health.Snapshot()
+	}
+	if members == nil {
+		members = []MemberHealth{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Mode    string         `json:"mode"`
+		Self    string         `json:"self,omitempty"`
+		Members []MemberHealth `json:"members"`
+	}{mode, s.cfg.Self, members})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -150,6 +198,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		emit(ErrorEvent{Type: "error", Error: err.Error()})
 		return
 	}
+	info, _ := s.Job(id)
 	emit(ResultEvent{
 		Type: "result", ID: id,
 		Columns:  rs.Columns,
@@ -158,6 +207,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CacheHits: rs.CacheHits,
 		Settings:  rs.Settings,
 		Table:     rs.Render(),
+		Degraded:  info.Degraded,
 	})
 }
 

@@ -96,6 +96,17 @@ func (r *Ring) Owner(key string) (string, bool) {
 // most likely to hold the key's previous copy. ok is false when no such
 // member exists (empty ring, or exclude is the only member).
 func (r *Ring) OwnerExcluding(key, exclude string) (string, bool) {
+	return r.OwnerSkipping(key, func(node string) bool { return node == exclude })
+}
+
+// OwnerSkipping returns the first member clockwise from the key's hash
+// for which skip returns false — the failover owner of a key whose
+// preferred members are down, draining or already tried. Walking the
+// ring (instead of picking an arbitrary survivor) keeps reassignment
+// deterministic and minimal: keys skip to their successor, exactly the
+// member the cache-peering tier predicts holds the next copy. ok is
+// false when every member is skipped.
+func (r *Ring) OwnerSkipping(key string, skip func(node string) bool) (string, bool) {
 	if len(r.points) == 0 {
 		return "", false
 	}
@@ -103,7 +114,7 @@ func (r *Ring) OwnerExcluding(key, exclude string) (string, bool) {
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	for i := 0; i < len(r.points); i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if p.node != exclude {
+		if !skip(p.node) {
 			return p.node, true
 		}
 	}

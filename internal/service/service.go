@@ -52,6 +52,11 @@ type JobInfo struct {
 	// CacheHits counts points served from the trial cache so far.
 	CacheHits int    `json:"cache_hits"`
 	Error     string `json:"error,omitempty"`
+	// Degraded is set when a coordinator exhausted a shard's retry
+	// budget (or had no assignable worker) and executed part of the
+	// sweep locally. The results are still correct and byte-identical —
+	// degraded flags that the fleet didn't deliver them.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // job is the internal job record.
@@ -95,17 +100,34 @@ type Config struct {
 	// execution — pruning decisions depend on the whole committed
 	// prefix, so they are not shardable.
 	Coordinator bool
+	// Health tunes the fleet health monitor (zero value = defaults).
+	// Used whenever Peers is non-empty: coordinators consult it for
+	// shard planning, workers for cache peering.
+	Health HealthConfig
+	// StreamIdleTimeout is the coordinator's per-stream liveness
+	// deadline: a worker stream delivering no NDJSON event for this
+	// long is failed over (<= 0 = 2m).
+	StreamIdleTimeout time.Duration
+	// MaxShardRetries bounds how many workers a shard may fail over
+	// across before its remainder degrades to coordinator-local
+	// execution (<= 0 = 3).
+	MaxShardRetries int
+	// Chaos, when non-nil, wraps the HTTP handler with the fault
+	// injector (the windtunneld -chaos flag).
+	Chaos *FaultInjector
 }
 
 // Server owns the shared pool, the trial cache and the job registry. Its
 // HTTP interface is exposed via Handler.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *Cache
-	store *results.Store
-	fleet *fleet // non-nil in coordinator mode
-	now   func() time.Time
+	cfg    Config
+	pool   *Pool
+	cache  *Cache
+	store  *results.Store
+	fleet  *fleet  // non-nil in coordinator mode
+	health *Health // non-nil whenever Peers is configured
+	chaos  *FaultInjector
+	now    func() time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -136,23 +158,56 @@ func New(cfg Config) (*Server, error) {
 		if len(cfg.Peers) == 0 {
 			return nil, fmt.Errorf("service: coordinator mode needs at least one worker in Peers")
 		}
-		s.fleet = newFleet(cfg.Peers)
+		s.health = NewHealth(cfg.Peers, cfg.Health)
+		s.health.Start()
+		s.fleet = newFleet(cfg.Peers, s.health, cfg.StreamIdleTimeout, cfg.MaxShardRetries)
 	case len(cfg.Peers) > 0:
 		if cfg.Self == "" {
 			return nil, fmt.Errorf("service: cache peering needs Self, this worker's URL within Peers")
 		}
 		found := false
+		var others []string
 		for _, p := range cfg.Peers {
 			if p == cfg.Self {
 				found = true
+			} else {
+				others = append(others, p)
 			}
 		}
 		if !found {
 			return nil, fmt.Errorf("service: Self %q is not in Peers %v", cfg.Self, cfg.Peers)
 		}
+		// A worker health-checks the peers it may fetch from (everyone
+		// but itself) so a down peer is skipped immediately on a cache
+		// miss instead of eating a connect timeout per key.
+		s.health = NewHealth(others, cfg.Health)
+		s.health.Start()
 		cache.EnablePeering(cfg.Peers, cfg.Self, nil)
+		cache.SetHealth(s.health)
 	}
+	s.chaos = cfg.Chaos
 	return s, nil
+}
+
+// Close stops the server's background work (the health monitor's probe
+// loop). It does not wait for running jobs — that is BeginDrain plus
+// http.Server.Shutdown's business.
+func (s *Server) Close() {
+	if s.health != nil {
+		s.health.Stop()
+	}
+}
+
+// Health exposes the fleet health monitor (nil without Peers).
+func (s *Server) Health() *Health { return s.health }
+
+// markDegraded flags a job as partially coordinator-served.
+func (s *Server) markDegraded(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.info.Degraded = true
+	}
 }
 
 // Cache exposes the trial cache (for stats and tests).

@@ -620,6 +620,24 @@ func (p *Plan) Points() []design.Point { return p.Space.Points() }
 // point order — the fleet's shard key.
 func (p *Plan) PointKeys() ([]string, error) { return p.newExplorer().PointKeys() }
 
+// RunSubset executes only the given global point indices (strictly
+// ascending) on this plan's engine resources, invoking onOutcome per
+// committed outcome in subset order. Each outcome carries its global
+// Index. This is the fleet coordinator's degraded-mode path: when a
+// shard's retry budget is exhausted with no healthy worker left to take
+// it, the remaining indices run on the coordinator's own engine and
+// merge into the same table, byte for byte.
+func (p *Plan) RunSubset(ctx context.Context, subset []int, onOutcome func(out core.PointOutcome)) error {
+	ex := p.newExplorer()
+	ex.Subset = subset
+	ex.Progress = nil
+	if onOutcome != nil {
+		ex.Progress = func(done, total int, out core.PointOutcome) { onOutcome(out) }
+	}
+	_, err := ex.RunContext(ctx)
+	return err
+}
+
 // newExplorer wires the plan to the engine's shared resources.
 func (p *Plan) newExplorer() *core.Explorer {
 	return &core.Explorer{
