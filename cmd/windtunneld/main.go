@@ -13,10 +13,21 @@
 //	POST   /v1/query      {"query": "SIMULATE ...", "trials": 5} -> NDJSON stream
 //	GET    /v1/jobs       job listing
 //	GET    /v1/jobs/{id}  one job
+//	GET    /v1/jobs/{id}/stream?from=N  replay a job's stream from point N, then tail live
 //	DELETE /v1/jobs/{id}  cancel a running job
 //	GET    /v1/cache      trial-cache and pool statistics
 //	GET    /v1/fleet      fleet membership and per-member health
 //	GET    /v1/healthz    liveness ("ok", or "draining" during shutdown)
+//
+// Durability: by default every client-facing query is write-ahead
+// journaled under -journal (one fsync'd record per committed design
+// point, carrying its cache key) and runs detached from the client
+// connection. A crashed daemon (kill -9, OOM, power loss) replays the
+// journal on restart, resurrects incomplete jobs under their original
+// ids, and resumes only the undelivered points; clients reconnect with
+// GET /v1/jobs/{id}/stream?from=N and see the committed prefix replayed
+// byte-identically. -journal "" disables all of this: queries stream
+// inline and die with their client connection.
 //
 // Fleet mode: a set of workers plus one coordinator form a sharded wind
 // tunnel. Every member gets the same -peers list (the worker URLs);
@@ -77,8 +88,18 @@ func main() {
 	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard queries across -peers workers")
 	streamIdle := flag.Duration("stream-idle", 0, "coordinator per-stream idle deadline before failover (0 = 2m)")
 	shardRetries := flag.Int("shard-retries", 0, "max workers a shard fails over across before coordinator-local execution (0 = 3)")
-	chaos := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.05,delay=0.1,delay-max=200ms,drop=0.05,reset=0.05")
+	chaos := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.05,delay=0.1,delay-max=200ms,drop=0.05,reset=0.05,cut=3")
+	journal := flag.String("journal", "auto", `job journal directory for crash recovery ("auto" = wtjournal-<addr>; empty disables journaling)`)
+	storeInterval := flag.Duration("store-interval", time.Minute, "checkpoint the -store archive this often (0 = only on shutdown)")
 	flag.Parse()
+
+	journalDir := *journal
+	if journalDir == "auto" {
+		// Derive a per-daemon directory from the listen address so
+		// multiple daemons sharing a working directory (CI smoke jobs,
+		// local fleets) never replay each other's jobs.
+		journalDir = "wtjournal-" + strings.NewReplacer(":", "_", "/", "_").Replace(strings.TrimPrefix(*addr, ":"))
+	}
 
 	cfg := service.Config{
 		Trials:            *trials,
@@ -90,6 +111,7 @@ func main() {
 		Coordinator:       *coordinator,
 		StreamIdleTimeout: *streamIdle,
 		MaxShardRetries:   *shardRetries,
+		JournalDir:        journalDir,
 	}
 	if *chaos != "" {
 		fcfg, err := service.ParseFaultConfig(*chaos)
@@ -113,6 +135,53 @@ func main() {
 		fatal(err)
 	}
 	defer svc.Close()
+
+	// Replay the journal before serving traffic: incomplete jobs from a
+	// crashed run resurrect under their original ids and resume only
+	// their undelivered points; their streams are resumable the moment
+	// the listener is up.
+	if journalDir != "" {
+		resumed, warns, err := svc.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range warns {
+			log.Printf("windtunneld: %s", w)
+		}
+		if resumed > 0 {
+			log.Printf("windtunneld: resumed %d interrupted job(s) from journal %s", resumed, journalDir)
+		}
+	}
+
+	// Periodic archive checkpoint: a crash loses at most one interval of
+	// archived runs instead of everything since startup (Save is atomic
+	// temp+fsync+rename). Skipped when the archive hasn't grown.
+	stopCheckpoint := make(chan struct{})
+	checkpointDone := make(chan struct{})
+	if *storePath != "" && cfg.Store != nil && *storeInterval > 0 {
+		go func() {
+			defer close(checkpointDone)
+			tick := time.NewTicker(*storeInterval)
+			defer tick.Stop()
+			last := cfg.Store.Len()
+			for {
+				select {
+				case <-stopCheckpoint:
+					return
+				case <-tick.C:
+					if n := cfg.Store.Len(); n != last {
+						if err := cfg.Store.Save(*storePath); err != nil {
+							log.Printf("windtunneld: archive checkpoint: %v", err)
+							continue
+						}
+						last = n
+					}
+				}
+			}
+		}()
+	} else {
+		close(checkpointDone)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errCh := make(chan error, 1)
@@ -148,6 +217,19 @@ func main() {
 		svc.CancelAll()
 		httpSrv.Close()
 	}
+	// Durable jobs run detached from their client connections, so
+	// Shutdown returning does not mean the work is done — wait for the
+	// jobs themselves (their journals record completion), then cancel
+	// stragglers.
+	if !svc.WaitJobs(shutdownCtx) {
+		log.Printf("drain window expired with detached jobs still running, cancelling")
+		svc.CancelAll()
+		waitCtx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		svc.WaitJobs(waitCtx)
+		wcancel()
+	}
+	close(stopCheckpoint)
+	<-checkpointDone
 	if *storePath != "" && cfg.Store != nil {
 		if err := cfg.Store.Save(*storePath); err != nil {
 			fatal(err)

@@ -14,11 +14,15 @@
 // Each request POSTs the query to /v1/query and consumes the whole
 // NDJSON stream; a request counts as successful only when the stream
 // terminates with a result event, after up to -retries retried
-// attempts. The report includes retry totals, an error breakdown and
-// the slowest request; the exit status is non-zero when any request
-// ultimately failed. The default query is a small
-// replication sweep so every client resolves to the same cache keys —
-// the worst case for lock contention and the best case for reuse.
+// attempts. A stream that dies mid-flight after the server accepted the
+// job is resumed via GET /v1/jobs/{id}/stream?from=<received> — a
+// reconnect-then-success still counts as exactly one successful
+// request, reported separately in the resumed-vs-fresh split. The
+// report includes retry totals, an error breakdown and the slowest
+// request; the exit status is non-zero when any request ultimately
+// failed. The default query is a small replication sweep so every
+// client resolves to the same cache keys — the worst case for lock
+// contention and the best case for reuse.
 package main
 
 import (
@@ -77,13 +81,15 @@ func main() {
 		*requests, *clients, base)
 
 	var (
-		next       atomic.Int64
-		okCount    atomic.Int64
-		failCount  atomic.Int64
-		retryCount atomic.Int64
-		mu         sync.Mutex
-		latencies  []time.Duration
-		errCounts  = map[string]int64{}
+		next        atomic.Int64
+		okCount     atomic.Int64
+		okResumed   atomic.Int64 // successes that needed a mid-stream reconnect
+		failCount   atomic.Int64
+		retryCount  atomic.Int64
+		resumeCount atomic.Int64 // stream-resume attempts (not full re-submissions)
+		mu          sync.Mutex
+		latencies   []time.Duration
+		errCounts   = map[string]int64{}
 	)
 	client := &http.Client{}
 	start := time.Now()
@@ -102,11 +108,18 @@ func main() {
 				// the caller experienced.
 				t0 := time.Now()
 				var err error
+				var resumed bool
 				for attempt := 0; attempt <= *retries; attempt++ {
 					if attempt > 0 {
 						retryCount.Add(1)
 					}
-					if err = runOnce(ctx, client, base, body); err == nil || ctx.Err() != nil {
+					var resumes int
+					resumes, err = runOnce(ctx, client, base, body)
+					resumeCount.Add(int64(resumes))
+					if resumes > 0 {
+						resumed = true
+					}
+					if err == nil || ctx.Err() != nil {
 						break
 					}
 				}
@@ -119,6 +132,11 @@ func main() {
 					continue
 				}
 				okCount.Add(1)
+				if resumed {
+					// Reconnect-then-success is still exactly one
+					// successful request; it is only reported separately.
+					okResumed.Add(1)
+				}
 				mu.Lock()
 				latencies = append(latencies, lat)
 				mu.Unlock()
@@ -130,6 +148,8 @@ func main() {
 
 	ok, failed := okCount.Load(), failCount.Load()
 	fmt.Printf("requests:   %d ok, %d failed in %s\n", ok, failed, elapsed.Round(time.Millisecond))
+	fmt.Printf("resumed:    %d ok via reconnect, %d ok fresh (%d stream resumes)\n",
+		okResumed.Load(), ok-okResumed.Load(), resumeCount.Load())
 	fmt.Printf("retries:    %d\n", retryCount.Load())
 	if ok > 0 {
 		fmt.Printf("throughput: %.1f queries/s\n", float64(ok)/elapsed.Seconds())
@@ -168,45 +188,93 @@ func errKey(err error) string {
 }
 
 // runOnce issues one query and drains its stream, requiring a terminal
-// result event.
-func runOnce(ctx context.Context, client *http.Client, base string, body []byte) error {
+// result event. When the stream dies mid-flight after the server
+// accepted the job, the job's NDJSON stream is resumed in place (up to
+// maxResumes times) via GET /v1/jobs/{id}/stream?from=<received> — on a
+// journaling daemon the job keeps running detached, so the reconnect
+// picks up exactly where the dead connection stopped. The returned
+// count is how many resumes it took (0 = a clean single-connection
+// run); the request is one request either way.
+func runOnce(ctx context.Context, client *http.Client, base string, body []byte) (resumes int, err error) {
+	const maxResumes = 3
 	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		resp.Body.Close()
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
+
+	var jobID string
+	points := 0
+	for {
+		jid, pts, done, err := drainStream(resp)
+		if jid != "" {
+			jobID = jid
+		}
+		points += pts
+		if done || err == nil {
+			return resumes, err
+		}
+		if ctx.Err() != nil || jobID == "" || resumes >= maxResumes {
+			return resumes, err
+		}
+		// Mid-stream death with a known job: resume its stream from the
+		// last event received instead of re-submitting the query.
+		resumes++
+		req, rerr := http.NewRequestWithContext(ctx, "GET",
+			fmt.Sprintf("%s/v1/jobs/%s/stream?from=%d", base, jobID, points), nil)
+		if rerr != nil {
+			return resumes, rerr
+		}
+		resp, rerr = client.Do(req)
+		if rerr != nil {
+			return resumes, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return resumes, fmt.Errorf("resume HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+	}
+}
+
+// drainStream consumes one NDJSON connection, closing it. done=true
+// means a terminal event arrived (result or server error) and err is
+// the final verdict; done=false with err != nil is a transport-level
+// death the caller may resume from.
+func drainStream(resp *http.Response) (jobID string, points int, done bool, err error) {
+	defer resp.Body.Close()
 	dec := json.NewDecoder(resp.Body)
-	sawResult := false
 	for {
 		var ev struct {
 			Type  string `json:"type"`
+			ID    string `json:"id"`
 			Error string `json:"error"`
 		}
-		if err := dec.Decode(&ev); err == io.EOF {
-			break
-		} else if err != nil {
-			return err
+		if derr := dec.Decode(&ev); derr == io.EOF {
+			return jobID, points, false, fmt.Errorf("stream ended without a result")
+		} else if derr != nil {
+			return jobID, points, false, derr
 		}
 		switch ev.Type {
+		case "job":
+			jobID = ev.ID
+		case "point":
+			points++
 		case "result":
-			sawResult = true
+			return jobID, points, true, nil
 		case "error":
-			return fmt.Errorf("server: %s", ev.Error)
+			return jobID, points, true, fmt.Errorf("server: %s", ev.Error)
 		}
 	}
-	if !sawResult {
-		return fmt.Errorf("stream ended without a result")
-	}
-	return nil
 }
 
 // pct returns the p-th percentile of sorted latencies.

@@ -11,9 +11,15 @@
 //
 // In daemon mode the query is POSTed to /v1/query; per-design-point
 // progress events stream to stderr and the final table (byte-identical
-// to a local run) prints to stdout. SIGINT/SIGTERM and -timeout cancel
-// the run — locally at design-point granularity, remotely by dropping
-// the connection (the daemon cancels the job when the client goes away).
+// to a local run) prints to stdout. -server accepts a comma-separated
+// failover list (e.g. two fleet coordinators); a dropped connection —
+// daemon restart, coordinator death — is retried within the -reconnect
+// window with exponential backoff: first by resuming the same job's
+// stream (GET /v1/jobs/{id}/stream?from=<received>), else by
+// re-submitting the query to the next server with from=<received> so
+// already-delivered points are not replayed. A mid-stream daemon
+// restart is invisible except for latency. SIGINT/SIGTERM and -timeout
+// cancel the run.
 package main
 
 import (
@@ -43,9 +49,10 @@ func main() {
 	trials := flag.Int("trials", 5, "default trials per configuration")
 	workers := flag.Int("workers", 0, "point-level parallelism (0 = GOMAXPROCS)")
 	storePath := flag.String("store", "", "JSON result archive to append executed configurations to (§4.4)")
-	server := flag.String("server", "", "windtunneld base URL (empty = execute locally)")
+	server := flag.String("server", "", "windtunneld base URL(s), comma-separated failover list (empty = execute locally)")
 	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "print per-point progress to stderr (daemon mode)")
+	reconnect := flag.Duration("reconnect", 45*time.Second, "daemon mode: keep reconnecting/resuming a dropped stream for up to this long (0 = fail fast)")
 	flag.Parse()
 
 	text := *query
@@ -90,7 +97,11 @@ func main() {
 				fatal(fmt.Errorf("-%s has no effect with -server: the daemon owns its archive and worker pool", f.Name))
 			}
 		})
-		if err := runRemote(ctx, *server, text, remoteTrials, *progress); err != nil {
+		servers := splitServers(*server)
+		if len(servers) == 0 {
+			fatal(fmt.Errorf("-server given but empty"))
+		}
+		if err := runRemote(ctx, servers, text, remoteTrials, *progress, *reconnect); err != nil {
 			fatal(err)
 		}
 		return
@@ -119,56 +130,192 @@ func main() {
 	}
 }
 
-// runRemote posts the query to a windtunneld daemon and streams the
-// NDJSON response: progress to stderr, the final table to stdout.
-// trials == 0 leaves the daemon's configured default in force.
-func runRemote(ctx context.Context, base, text string, trials int, progress bool) error {
-	payload := map[string]any{"query": text}
-	if trials > 0 {
-		payload["trials"] = trials
+// splitServers parses the comma-separated -server list.
+func splitServers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// permanentError marks a failure no reconnect can fix (a bad query, a
+// server-reported job error) — retrying would just repeat it.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// remoteSession is one query's daemon-mode execution state across
+// however many connections it takes: which server owns the job, how
+// many point events arrived, and whether the table already printed.
+type remoteSession struct {
+	servers  []string
+	si       int // current server index
+	text     string
+	trials   int
+	progress bool
+
+	jobID  string
+	jobSrv int // index of the server that accepted jobID
+	points int // point events received so far (the resume cursor)
+	start  time.Time
+}
+
+// runRemote executes the query against a windtunneld daemon (or a
+// failover list of them), streaming progress to stderr and the final
+// table to stdout. A dropped connection is retried within the reconnect
+// window: the same server is asked to resume the job's stream from the
+// last received point; a server that no longer knows the job (or a
+// different server after failover) gets the query re-submitted with
+// from=<received>, so the client never sees a point event twice and the
+// table prints exactly once. trials == 0 leaves the daemon's default in
+// force.
+func runRemote(ctx context.Context, servers []string, text string, trials int, progress bool, reconnect time.Duration) error {
+	s := &remoteSession{
+		servers: servers, text: text, trials: trials,
+		progress: progress, start: time.Now(),
+	}
+	deadline := time.Now().Add(reconnect)
+	backoff := 200 * time.Millisecond
+	for {
+		got, err := s.attempt(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if got > 0 {
+			// The stream made progress before dying: a live server is out
+			// there, so restart the reconnect window and the backoff.
+			deadline = time.Now().Add(reconnect)
+			backoff = 200 * time.Millisecond
+		} else if len(s.servers) > 1 {
+			// Nothing at all from this server: fail over to the next one.
+			s.si = (s.si + 1) % len(s.servers)
+		}
+		if reconnect <= 0 || time.Now().After(deadline) {
+			return fmt.Errorf("stream lost and not recovered within %s: %w", reconnect, err)
+		}
+		fmt.Fprintf(os.Stderr, "wtql: connection lost (%v); retrying %s in %s\n",
+			err, s.servers[s.si], backoff.Round(time.Millisecond))
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// attempt makes one connection and consumes its stream, returning how
+// many NDJSON events arrived (0 means the server gave us nothing — the
+// caller's cue to fail over). nil error means the table printed.
+func (s *remoteSession) attempt(ctx context.Context) (events int, err error) {
+	base := strings.TrimRight(s.servers[s.si], "/")
+
+	// Prefer resuming the existing job's stream on the server that owns
+	// it: the committed prefix is skipped server-side via from=, and a
+	// daemon that restarted still has the job (replayed from its
+	// journal) under the same id.
+	if s.jobID != "" && s.si == s.jobSrv {
+		req, rerr := http.NewRequestWithContext(ctx, "GET",
+			fmt.Sprintf("%s/v1/jobs/%s/stream?from=%d", base, s.jobID, s.points), nil)
+		if rerr != nil {
+			return 0, rerr
+		}
+		resp, rerr := http.DefaultClient.Do(req)
+		switch {
+		case rerr != nil:
+			return 0, rerr
+		case resp.StatusCode == http.StatusOK:
+			defer resp.Body.Close()
+			return s.consume(resp)
+		case resp.StatusCode == http.StatusNotFound:
+			// Job unknown here (journaling off, or evicted): fall through
+			// to a fresh submission with the resume cursor.
+			resp.Body.Close()
+		default:
+			err := httpError(resp)
+			resp.Body.Close()
+			return 0, err
+		}
+	}
+
+	payload := map[string]any{"query": s.text}
+	if s.trials > 0 {
+		payload["trials"] = s.trials
+	}
+	if s.points > 0 {
+		// Re-submission after partial delivery: ask the server to skip
+		// the points we already have. The sweep still completes in full
+		// server-side (cache hits), so the table is unchanged.
+		payload["from"] = s.points
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	url := strings.TrimRight(base, "/") + "/v1/query"
-	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
-
 	if resp.StatusCode != http.StatusOK {
-		// The daemon's refusals (400/503) are single JSON error objects;
-		// anything else (wrong port, proxy error page) gets reported by
-		// status rather than fed to the NDJSON parser.
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		var ev struct {
-			Error string `json:"error"`
+		err := httpError(resp)
+		if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusRequestEntityTooLarge {
+			// The query itself is refused; no server will take it.
+			return 0, permanentError{err}
 		}
-		if json.Unmarshal(bytes.TrimSpace(body), &ev) == nil && ev.Error != "" {
-			return fmt.Errorf("server (HTTP %d): %s", resp.StatusCode, ev.Error)
-		}
-		return fmt.Errorf("server returned HTTP %d: %s", resp.StatusCode,
-			strings.TrimSpace(string(body)))
+		return 0, err // 503 draining, 5xx: worth another server or another try
 	}
+	s.jobSrv = s.si
+	return s.consume(resp)
+}
 
+// httpError renders a non-200 response. The daemon's refusals (400/503)
+// are single JSON error objects; anything else (wrong port, proxy error
+// page) is reported by status rather than fed to the NDJSON parser.
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var ev struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(bytes.TrimSpace(body), &ev) == nil && ev.Error != "" {
+		return fmt.Errorf("server (HTTP %d): %s", resp.StatusCode, ev.Error)
+	}
+	return fmt.Errorf("server returned HTTP %d: %s", resp.StatusCode,
+		strings.TrimSpace(string(body)))
+}
+
+// consume parses one connection's NDJSON stream, updating the session's
+// resume cursor per event. nil error means the result event arrived and
+// the table printed.
+func (s *remoteSession) consume(resp *http.Response) (events int, err error) {
 	// ReadBytes instead of a Scanner: the result event is one line
 	// carrying every row plus the rendered table, and a fixed token cap
 	// would make large sweeps fail client-side after the server already
 	// did all the work.
 	rd := bufio.NewReader(resp.Body)
 	sawResult := false
-	start := time.Now()
 	for {
 		line, readErr := rd.ReadBytes('\n')
 		if readErr != nil && readErr != io.EOF {
-			return readErr
+			return events, readErr
 		}
 		if len(bytes.TrimSpace(line)) == 0 {
 			if readErr == io.EOF {
@@ -192,15 +339,19 @@ func runRemote(ctx context.Context, base, text string, trials int, progress bool
 			Degraded  bool               `json:"degraded"`
 		}
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("bad stream line %q: %w", line, err)
+			return events, fmt.Errorf("bad stream line %q: %w", line, err)
 		}
+		events++
 		switch ev.Type {
 		case "job":
-			if progress {
+			s.jobID = ev.ID
+			s.jobSrv = s.si
+			if s.progress {
 				fmt.Fprintf(os.Stderr, "job %s accepted\n", ev.ID)
 			}
 		case "point":
-			if progress {
+			s.points++
+			if s.progress {
 				note := ""
 				if ev.Cached {
 					note = " (cached)"
@@ -222,21 +373,21 @@ func runRemote(ctx context.Context, base, text string, trials int, progress bool
 				// disturbing the table bytes on stdout.
 				fmt.Fprintln(os.Stderr, "wtql: warning: job ran degraded (coordinator executed part of the sweep locally)")
 			}
-			if progress {
+			if s.progress {
 				fmt.Fprintf(os.Stderr, "%d executed, %d cache hits, %s elapsed\n",
-					ev.Executed, ev.CacheHits, time.Since(start).Round(time.Millisecond))
+					ev.Executed, ev.CacheHits, time.Since(s.start).Round(time.Millisecond))
 			}
 		case "error":
-			return fmt.Errorf("server: %s", ev.Error)
+			return events, permanentError{fmt.Errorf("server: %s", ev.Error)}
 		}
 		if readErr == io.EOF {
 			break
 		}
 	}
 	if !sawResult {
-		return fmt.Errorf("stream ended without a result (HTTP %d)", resp.StatusCode)
+		return events, fmt.Errorf("stream ended without a result")
 	}
-	return nil
+	return events, nil
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -135,7 +136,12 @@ func (s *Store) Filter(match map[string]string) []Record {
 	return out
 }
 
-// Save writes the store to path as JSON.
+// Save writes the store to path as JSON, atomically: the archive is
+// written to a temp file in the same directory, fsync'd, and renamed
+// over path, so a crash (or a concurrent reader) mid-save can never
+// observe a torn archive. This is what makes periodic checkpointing
+// (windtunneld -store-interval) safe — the previous checkpoint survives
+// until the new one is durable.
 func (s *Store) Save(path string) error {
 	s.mu.RLock()
 	data, err := json.MarshalIndent(s.records, "", "  ")
@@ -143,8 +149,26 @@ func (s *Store) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("results: marshal: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("results: save: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(name)
+		return fmt.Errorf("results: save: write %v, sync %v, close %v", werr, serr, cerr)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("results: save: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

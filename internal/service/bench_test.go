@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/wtql"
 )
@@ -106,6 +107,44 @@ func BenchmarkFleet100ConcurrentClients(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkJournalAppend measures one durable point commit: marshal,
+// frame (length + CRC), one write, one fsync. This is the per-point
+// cost journaling adds to a sweep — the number behind EXPERIMENTS.md
+// E16's "journal overhead" claim.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := OpenJournal(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	jj, err := j.Begin("job-1", benchQuery, 2, time.Unix(1700000000, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jj.Close()
+	line := []byte(`{"type":"point","done":1,"total":3,"index":0,"config":{"cluster.nodes":"5"},"metrics":{"availability":0.9991},"trials":2,"all_met":true}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jj.Point(i, "0123456789abcdef0123456789abcdef", line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurableQueryThroughput is BenchmarkServiceQueryThroughput
+// with journaling on: end-to-end queries/second of the durable path
+// (detached execution, WAL append + fsync per point, stream replay from
+// the job log) with a warm trial cache.
+func BenchmarkDurableQueryThroughput(b *testing.B) {
+	_, ts := newTestServer(b, Config{PoolSize: 4, JournalDir: b.TempDir()})
+	body := mustJSON(b, QueryRequest{Query: benchQuery})
+
+	postBench(b, ts.URL, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, ts.URL, body)
+	}
 }
 
 // BenchmarkTrialCacheHit measures a full WTQL sweep served entirely from

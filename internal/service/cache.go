@@ -464,19 +464,27 @@ func (c *Cache) writeDisk(key string, r *core.RunResult) {
 	if err != nil {
 		return // non-finite metric: keep the memory tier only
 	}
-	// Write-then-rename so concurrent readers never see a torn file.
+	// Write-fsync-rename so concurrent readers never see a torn file
+	// and a power loss never publishes one: rename alone orders nothing
+	// on most filesystems, so without the Sync a crash could leave an
+	// empty or partial entry under the final name. readDisk's
+	// corrupt=miss stays as the last line of defense, not the plan.
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
 		return
 	}
 	name := tmp.Name()
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(name)
 		return
 	}
 	if err := os.Rename(name, c.path(key)); err != nil {
 		os.Remove(name)
+		return
 	}
+	// Make the rename itself durable: fsync the directory entry.
+	syncDir(c.dir)
 }

@@ -32,6 +32,14 @@ type FaultConfig struct {
 	// ResetProb aborts the connection mid-body — the client sees a
 	// connection reset, not a clean EOF.
 	ResetProb float64
+	// CutEvery, when > 0, deterministically aborts every streaming
+	// response (POST /v1/query and GET /v1/jobs/{id}/stream) after that
+	// many body writes — no RNG involved. It exists to exercise the
+	// durable-job resume path: a client that reconnects with
+	// from=<received> advances a few points per attempt and still
+	// finishes, so `cut=3` proves end-to-end resume without a single
+	// byte of the final table changing.
+	CutEvery int
 }
 
 // FaultStats counts injected faults.
@@ -41,6 +49,7 @@ type FaultStats struct {
 	Delays   uint64 `json:"delays"`
 	Drops    uint64 `json:"drops"`
 	Resets   uint64 `json:"resets"`
+	Cuts     uint64 `json:"cuts"`
 }
 
 // FaultInjector injects configured faults into an http.Handler — the
@@ -138,6 +147,14 @@ func (f *FaultInjector) Wrap(next http.Handler) http.Handler {
 				return
 			}
 		}
+		if !p.drop && !p.reset && f.cfg.CutEvery > 0 && streamingPath(r) {
+			// Deterministic stream cut: independent of the RNG so a
+			// resume exercise does not disturb the seeded fault sequence.
+			f.mu.Lock()
+			f.st.Cuts++
+			f.mu.Unlock()
+			p.reset, p.after = true, f.cfg.CutEvery
+		}
 		if p.drop || p.reset {
 			defer func() {
 				if rec := recover(); rec != nil && rec != errChaosDrop {
@@ -148,6 +165,13 @@ func (f *FaultInjector) Wrap(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// streamingPath reports whether a request answers with an NDJSON job
+// stream — the only responses a cut=N fault targets (cutting a one-shot
+// JSON endpoint would test nothing resumable).
+func streamingPath(r *http.Request) bool {
+	return r.URL.Path == "/v1/query" || strings.HasSuffix(r.URL.Path, "/stream")
 }
 
 // chaosWriter truncates a response body after a configured number of
@@ -212,8 +236,13 @@ func ParseFaultConfig(s string) (FaultConfig, error) {
 			err = parseProb(&cfg.DropProb, v)
 		case "reset":
 			err = parseProb(&cfg.ResetProb, v)
+		case "cut":
+			cfg.CutEvery, err = strconv.Atoi(v)
+			if err == nil && cfg.CutEvery < 0 {
+				err = fmt.Errorf("cut wants a non-negative write count, got %d", cfg.CutEvery)
+			}
 		default:
-			keys := []string{"seed", "err", "delay", "delay-max", "drop", "reset"}
+			keys := []string{"seed", "err", "delay", "delay-max", "drop", "reset", "cut"}
 			sort.Strings(keys)
 			return cfg, fmt.Errorf("service: unknown chaos key %q (want one of %s)", k, strings.Join(keys, ", "))
 		}

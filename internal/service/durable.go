@@ -1,0 +1,452 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/wtql"
+)
+
+// This file is the durable job layer: journaled jobs run detached from
+// their client connections, their event streams are kept in memory (and
+// on disk, in the write-ahead journal) for byte-identical replay, and a
+// restarted daemon resurrects incomplete jobs and resumes only their
+// undelivered points.
+//
+// The write-ahead discipline: a point's journal record is fsync'd
+// *before* the event line becomes visible to any stream follower. A
+// client that has seen N point events can therefore always resume with
+// from=N after a crash — the daemon cannot have forgotten an event it
+// delivered.
+
+var (
+	// ErrUnknownJob reports a Follow on an id the registry does not hold.
+	ErrUnknownJob = errors.New("service: no such job")
+	// ErrNoStream reports a Follow on a job that ran inline (journaling
+	// disabled or a fleet shard) and so kept no replayable stream.
+	ErrNoStream = errors.New("service: job has no recorded stream")
+)
+
+// Submit admits a query as a detached durable job: it is journaled
+// (when the journal is enabled and this is not a fleet-shard request),
+// starts executing immediately on its own goroutine, and survives any
+// client disconnect. The returned id can be streamed — repeatedly,
+// concurrently, resumably — via Follow.
+func (s *Server) Submit(req QueryRequest) (string, error) {
+	id, jctx, err := s.newJob(context.Background(), req.Query, true)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if s.journal != nil && req.Points == nil {
+		if jj, jerr := s.journal.Begin(id, req.Query, req.Trials, j.info.Created); jerr == nil {
+			j.jj = jj
+		}
+		// A Begin failure (disk full, permissions) degrades this job to
+		// non-durable rather than refusing it.
+	}
+	line, err := json.Marshal(JobEvent{Type: "job", ID: id})
+	if err != nil {
+		s.finish(id, err)
+		return "", err
+	}
+	s.appendLine(j, 'j', line)
+	go s.runDetached(jctx, id, req, nil)
+	return id, nil
+}
+
+// Follow streams a durable job's NDJSON lines to emit: the committed
+// prefix is replayed byte-identically (skipping the first `from` point
+// events — the client's resume cursor), then the live tail until the
+// terminal line. It returns nil once the terminal line has been
+// delivered, emit's error if emit fails, or ctx.Err on cancellation.
+func (s *Server) Follow(ctx context.Context, id string, from int, emit func(line []byte) error) error {
+	if from < 0 {
+		from = 0
+	}
+	// Wake the cond wait below when the follower's context dies; the
+	// empty critical section orders the broadcast after Wait's re-lock.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		//lint:ignore SA2001 pairing the broadcast with the waiters' lock
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	if !j.durable {
+		return ErrNoStream
+	}
+	idx, pts := 0, 0
+	for {
+		for idx < len(j.lines) {
+			ln := j.lines[idx]
+			idx++
+			if ln.kind == 'p' {
+				pts++
+				if pts <= from {
+					continue
+				}
+			}
+			// The re-lock is deferred so a panicking emit (net/http's
+			// ErrAbortHandler, chaos cuts) unwinds through the outer
+			// deferred Unlock with the mutex held, not double-unlocked.
+			err := func() error {
+				s.mu.Unlock()
+				defer s.mu.Lock()
+				return emit(ln.data)
+			}()
+			if err != nil {
+				return err
+			}
+		}
+		if j.logClosed {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+}
+
+// appendLine appends one line to a job's in-memory stream log and wakes
+// every follower. Element data is immutable once appended.
+func (s *Server) appendLine(j *job, kind byte, data []byte) {
+	s.mu.Lock()
+	j.lines = append(j.lines, logLine{kind: kind, data: data})
+	if kind == 'p' {
+		j.points++
+	}
+	if kind == 't' {
+		j.logClosed = true
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// appendPoint makes one committed point durable then visible — journal
+// fsync strictly before the in-memory (client-visible) append.
+func (s *Server) appendPoint(j *job, index int, key string, line []byte) {
+	if s.pointGate != nil {
+		s.pointGate(index)
+	}
+	if jj := j.jj; jj != nil {
+		if err := jj.Point(index, key, line); err != nil {
+			// Journaling broke mid-job (disk full, file gone). Serving
+			// continues non-durably; the journal is closed so recovery
+			// sees a clean prefix instead of a torn one.
+			jj.Close()
+		}
+	}
+	s.appendLine(j, 'p', line)
+}
+
+// resumeState carries a recovered job's journaled committed prefix into
+// its resumed execution.
+type resumeState struct {
+	points []RecoveredPoint
+}
+
+// runDetached executes a durable job to completion on its own
+// goroutine, appending every event line to the job's stream log (and
+// journal) and closing the log with the terminal line.
+func (s *Server) runDetached(ctx context.Context, id string, req QueryRequest, res *resumeState) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	emit := func(ev PointEvent, key string, out core.PointOutcome) {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		s.appendPoint(j, ev.Index, key, line)
+	}
+	rs, err := s.executeDurable(ctx, id, req, res, emit)
+
+	info, _ := s.Job(id)
+	var line []byte
+	status := "done"
+	errMsg := ""
+	if err != nil {
+		line, _ = json.Marshal(ErrorEvent{Type: "error", Error: err.Error()})
+		status, errMsg = "failed", err.Error()
+		if info.State == JobCancelled {
+			status = "cancelled"
+		}
+	} else {
+		line, _ = json.Marshal(ResultEvent{
+			Type: "result", ID: id,
+			Columns:  rs.Columns,
+			Rows:     rowsOrEmpty(rs.Rows),
+			Executed: rs.Executed, Pruned: rs.Pruned, Screened: rs.Screened,
+			CacheHits: rs.CacheHits,
+			Settings:  rs.Settings,
+			Table:     rs.Render(),
+			Degraded:  info.Degraded,
+		})
+	}
+	if jj := j.jj; jj != nil {
+		jj.End(status, errMsg, line)
+	}
+	s.appendLine(j, 't', line)
+}
+
+// executeDurable runs a durable job's query — SET statement, fleet
+// fan-out, or local sweep — optionally resuming past a journaled
+// committed prefix, and records the job's terminal state.
+func (s *Server) executeDurable(ctx context.Context, id string, req QueryRequest, res *resumeState,
+	emit func(ev PointEvent, key string, out core.PointOutcome)) (*wtql.ResultSet, error) {
+	q, err := wtql.Parse(req.Query)
+	if err != nil {
+		s.finish(id, err)
+		return nil, err
+	}
+	if len(q.Set) > 0 {
+		eng := s.engine(nil)
+		if req.Trials > 0 {
+			eng.Trials = req.Trials
+		}
+		rs, err := eng.RunContext(ctx, q)
+		s.finish(id, err)
+		return rs, err
+	}
+	var resume []RecoveredPoint
+	if res != nil {
+		resume = res.points
+	}
+	if s.fleet != nil {
+		rs, err, handled := s.executeFleet(ctx, id, req.Query, req.Trials, resume, emit)
+		if handled {
+			return rs, err
+		}
+	}
+
+	eng := s.engine(nil)
+	if req.Trials > 0 {
+		eng.Trials = req.Trials
+	}
+	plan, err := eng.Plan(q)
+	if err != nil {
+		s.finish(id, err)
+		return nil, err
+	}
+	keys, err := plan.PointKeys()
+	if err != nil {
+		s.finish(id, err)
+		return nil, err
+	}
+	total := plan.NumPoints()
+	prefix, err := journaledPrefix(plan.Points(), resume)
+	if err != nil {
+		s.finish(id, err)
+		return nil, err
+	}
+	k := len(prefix)
+
+	switch {
+	case k == 0:
+		// Fresh run (or nothing committed before the crash): the whole
+		// sweep, with per-commit progress and event emission.
+		eng.Progress = func(done, total int, out core.PointOutcome) {
+			s.progress(id, done, total, out.FromCache)
+			emit(pointEvent(done, total, out), keys[out.Index], out)
+		}
+		rs, err := plan.Run(ctx)
+		s.finish(id, err)
+		return rs, err
+
+	case plan.Pruned():
+		// MONOTONE sweeps: dominance decisions depend on the whole
+		// committed prefix, so re-run the full sweep — deterministic, and
+		// every previously-simulated point is a trial-cache hit — while
+		// suppressing re-emission (and re-journaling) of the first k
+		// events the journal already holds.
+		eng.Progress = func(done, total int, out core.PointOutcome) {
+			s.progress(id, done, total, out.FromCache)
+			if done <= k {
+				return
+			}
+			emit(pointEvent(done, total, out), keys[out.Index], out)
+		}
+		rs, err := plan.Run(ctx)
+		s.finish(id, err)
+		return rs, err
+
+	default:
+		// Plain sweep: the journaled prefix is final. Execute only the
+		// undelivered tail and assemble the table over prefix + tail.
+		outcomes := prefix
+		if k < total {
+			rem := make([]int, 0, total-k)
+			for i := k; i < total; i++ {
+				rem = append(rem, i)
+			}
+			err = plan.RunSubset(ctx, rem, func(out core.PointOutcome) {
+				outcomes = append(outcomes, out)
+				n := len(outcomes)
+				s.progress(id, n, total, out.FromCache)
+				emit(pointEvent(n, total, out), keys[out.Index], out)
+			})
+			if err != nil {
+				s.finish(id, err)
+				return nil, err
+			}
+		}
+		rs, err := plan.Assemble(outcomes)
+		s.finish(id, err)
+		return rs, err
+	}
+}
+
+// journaledPrefix reconstructs the committed outcomes a journal's point
+// records describe. The outcomes are marked FromCache — they are served
+// from the journal, not re-simulated — which also keeps Assemble from
+// archiving the same simulation into the results store twice.
+func journaledPrefix(points []design.Point, resume []RecoveredPoint) ([]core.PointOutcome, error) {
+	if len(resume) == 0 {
+		return nil, nil
+	}
+	if len(resume) > len(points) {
+		return nil, fmt.Errorf("service: journal holds %d points but the plan has %d — query or catalog changed under the journal", len(resume), len(points))
+	}
+	out := make([]core.PointOutcome, 0, len(resume))
+	for i, rp := range resume {
+		var ev PointEvent
+		if err := json.Unmarshal(rp.Line, &ev); err != nil {
+			return nil, fmt.Errorf("service: journaled point %d: %w", i, err)
+		}
+		o := eventOutcome(points[i], ev)
+		o.FromCache = true
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Recover replays the journal directory: completed jobs come back as
+// replayable history, incomplete jobs are resurrected under their
+// original ids and resume execution of only their undelivered points.
+// It returns how many jobs resumed plus human-readable warnings for
+// anything the journal scan repaired or refused. Call it once, after
+// New and before serving traffic.
+func (s *Server) Recover() (resumed int, warnings []string, err error) {
+	if s.journal == nil {
+		return 0, nil, nil
+	}
+	jobs, warnings, err := s.journal.Recover()
+	if err != nil {
+		return 0, warnings, err
+	}
+	for _, rec := range jobs {
+		if rec.ID == "" {
+			warnings = append(warnings, "journal: record with empty job id: skipping")
+			continue
+		}
+		if s.restoreJob(rec) {
+			resumed++
+			warnings = append(warnings, fmt.Sprintf("journal: resuming %s at %d committed point(s)", rec.ID, len(rec.Points)))
+		}
+	}
+	return resumed, warnings, nil
+}
+
+// restoreJob registers one recovered job. Incomplete jobs resume
+// detached; completed ones are restored finished, streams replayable.
+// Reports whether the job resumed execution.
+func (s *Server) restoreJob(rec *RecoveredJob) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		info:    JobInfo{ID: rec.ID, Query: rec.Query, State: JobRunning, Created: rec.Created},
+		cancel:  cancel,
+		durable: true,
+	}
+	jobLine, err := json.Marshal(JobEvent{Type: "job", ID: rec.ID})
+	if err != nil {
+		cancel()
+		return false
+	}
+	j.lines = append(j.lines, logLine{kind: 'j', data: jobLine})
+	for _, p := range rec.Points {
+		j.lines = append(j.lines, logLine{kind: 'p', data: p.Line})
+		j.points++
+	}
+	if n := len(rec.Points); n > 0 {
+		var last PointEvent
+		if json.Unmarshal(rec.Points[n-1].Line, &last) == nil {
+			j.info.Done, j.info.Total = last.Done, last.Total
+		}
+	}
+	if rec.Status != "" {
+		// Finished before the restart: keep it streamable, not runnable.
+		if len(rec.EndLine) > 0 {
+			j.lines = append(j.lines, logLine{kind: 't', data: rec.EndLine})
+		}
+		j.logClosed = true
+		j.info.Finished = s.now()
+		j.info.Error = rec.Error
+		switch rec.Status {
+		case "done":
+			j.info.State = JobDone
+		case "cancelled":
+			j.info.State = JobCancelled
+		default:
+			j.info.State = JobFailed
+		}
+	} else {
+		j.info.Resumed = true
+	}
+
+	s.mu.Lock()
+	if _, exists := s.jobs[rec.ID]; exists {
+		s.mu.Unlock()
+		cancel()
+		return false
+	}
+	s.jobs[rec.ID] = j
+	s.order = append(s.order, rec.ID)
+	s.evictFinishedLocked()
+	s.mu.Unlock()
+
+	if rec.Status != "" {
+		cancel()
+		return false
+	}
+	if jj, err := s.journal.Reopen(rec.ID); err == nil {
+		j.jj = jj
+	}
+	req := QueryRequest{Query: rec.Query, Trials: rec.Trials}
+	go s.runDetached(ctx, rec.ID, req, &resumeState{points: rec.Points})
+	return true
+}
+
+// crashForTest simulates kill -9 for in-process tests: every job's
+// journal is abandoned in place — no terminal record, exactly the state
+// a hard kill leaves on disk — and running contexts are cancelled so
+// the doomed executions stop burning the pool.
+func (s *Server) crashForTest() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.jj != nil {
+			j.jj.abandon()
+		}
+		if j.info.State == JobRunning {
+			j.cancel()
+		}
+	}
+}

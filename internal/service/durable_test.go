@@ -1,0 +1,488 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bigQuery is a 12-point sweep, slow enough that an in-process "kill
+// -9" (crashForTest) reliably lands mid-run.
+const bigQuery = `SIMULATE availability
+VARY cluster.nodes IN (5, 6, 7, 8), storage.replication IN (1, 2, 3)
+WITH users = 20, object_mb = 10, trials = 3, horizon_hours = 200
+WHERE sla.availability >= 0.2`
+
+// collectJob follows a durable job to its terminal line, returning the
+// raw NDJSON lines.
+func collectJob(t testing.TB, srv *Server, id string, from int) [][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var lines [][]byte
+	err := srv.Follow(ctx, id, from, func(line []byte) error {
+		lines = append(lines, append([]byte(nil), line...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Follow(%s, from=%d): %v", id, from, err)
+	}
+	return lines
+}
+
+// crashAtPoint submits query on srv and simulates kill -9 with exactly
+// k points committed: the point gate blocks the k'th (0-based) commit
+// before it reaches the journal, the "kill" lands, then execution is
+// released into its cancelled context. Returns the job id.
+func crashAtPoint(t testing.TB, srv *Server, query string, k int) string {
+	t.Helper()
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.pointGate = func(index int) {
+		if index >= k {
+			once.Do(func() { close(gate) })
+			<-release
+		}
+	}
+	id, err := srv.Submit(QueryRequest{Query: query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gate:
+	case <-time.After(time.Minute):
+		t.Fatalf("job never reached point %d", k)
+	}
+	srv.crashForTest()
+	close(release)
+	srv.Close()
+	return id
+}
+
+// tableOf extracts the rendered table from a terminal result line.
+func tableOf(t testing.TB, lines [][]byte) string {
+	t.Helper()
+	if len(lines) == 0 {
+		t.Fatal("empty job stream")
+	}
+	var ev struct {
+		Type  string `json:"type"`
+		Table string `json:"table"`
+		Error string `json:"error"`
+	}
+	last := lines[len(lines)-1]
+	if err := json.Unmarshal(last, &ev); err != nil {
+		t.Fatalf("bad terminal line %s: %v", last, err)
+	}
+	if ev.Type != "result" {
+		t.Fatalf("job ended with %s", last)
+	}
+	return ev.Table
+}
+
+// TestCrashResumeGolden is the tentpole's acceptance check: a daemon
+// killed mid-sweep (no goodbye, journals abandoned exactly as kill -9
+// leaves them) and restarted over the same journal + cache directories
+// must resurrect the job under its original id, resume only the
+// undelivered points, and produce the byte-identical final table — with
+// the committed prefix served from journal + cache, not re-simulated.
+func TestCrashResumeGolden(t *testing.T) {
+	_, single := newTestServer(t, Config{PoolSize: 2})
+	want := lastEvent(t, postQuery(t, single, bigQuery))
+	wantTable, _ := want["table"].(string)
+	if wantTable == "" {
+		t.Fatal("golden run produced no table")
+	}
+
+	journalDir, cacheDir := t.TempDir(), t.TempDir()
+	a, err := New(Config{PoolSize: 1, JournalDir: journalDir, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the job the moment its third point tries to commit: exactly
+	// two points are fsync'd when the "kill" lands — a deterministic
+	// crash position, not a sleep race.
+	const seen = 2
+	id := crashAtPoint(t, a, bigQuery, seen)
+
+	b, err := New(Config{PoolSize: 2, JournalDir: journalDir, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	resumed, warns, err := b.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d jobs, want 1 (warnings: %v)", resumed, warns)
+	}
+	info, ok := b.Job(id)
+	if !ok || !info.Resumed {
+		t.Fatalf("job %s not resurrected as resumed: %+v (ok=%v)", id, info, ok)
+	}
+
+	lines := collectJob(t, b, id, 0)
+	if got := tableOf(t, lines); got != wantTable {
+		t.Fatalf("resumed table differs from uninterrupted run:\n--- want ---\n%s--- got ---\n%s", wantTable, got)
+	}
+	points := 0
+	for _, ln := range lines {
+		var ev PointEvent
+		if err := json.Unmarshal(ln, &ev); err == nil && ev.Type == "point" {
+			points++
+			if ev.Done != points || ev.Total != 12 {
+				t.Fatalf("replayed stream out of order: done=%d total=%d at position %d", ev.Done, ev.Total, points)
+			}
+		}
+	}
+	if points != 12 {
+		t.Fatalf("resumed stream delivered %d point events, want 12", points)
+	}
+	// The committed prefix must not have been re-simulated: every point
+	// the first daemon finished was journaled and/or disk-cached, so the
+	// restarted daemon's cache misses are bounded by the points the
+	// crashed daemon never completed.
+	if misses := b.Cache().Stats().Misses; misses > uint64(12-seen) {
+		t.Fatalf("restarted daemon re-simulated committed work: %d cache misses, want <= %d", misses, 12-seen)
+	}
+	// The journal sticks around for replay until eviction; a fresh
+	// Follow must still replay the identical stream.
+	again := collectJob(t, b, id, 0)
+	if len(again) != len(lines) {
+		t.Fatalf("second replay has %d lines, first %d", len(again), len(lines))
+	}
+	for i := range lines {
+		if !bytes.Equal(lines[i], again[i]) {
+			t.Fatalf("replay not byte-identical at line %d:\n%s\nvs\n%s", i, lines[i], again[i])
+		}
+	}
+}
+
+// TestStreamResumeFromOffset: Follow(from=N) must deliver exactly the
+// suffix of Follow(from=0) with the first N point events removed,
+// byte-for-byte — the contract the wtql reconnect logic depends on.
+func TestStreamResumeFromOffset(t *testing.T) {
+	srv, err := New(Config{PoolSize: 2, JournalDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	id, err := srv.Submit(QueryRequest{Query: smallQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := collectJob(t, srv, id, 0)
+	part := collectJob(t, srv, id, 2)
+
+	var want [][]byte
+	points := 0
+	for _, ln := range full {
+		if bytes.Contains(ln, []byte(`"type":"point"`)) {
+			if points++; points <= 2 {
+				continue
+			}
+		}
+		want = append(want, ln)
+	}
+	if len(part) != len(want) {
+		t.Fatalf("from=2 stream has %d lines, want %d", len(part), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(part[i], want[i]) {
+			t.Fatalf("from=2 line %d differs:\n%s\nvs\n%s", i, part[i], want[i])
+		}
+	}
+}
+
+// TestHTTPStreamEndpointResume covers the wire version: GET
+// /v1/jobs/{id}/stream?from=N replays the suffix and tails to the
+// terminal line; unknown jobs 404; a bad cursor 400s.
+func TestHTTPStreamEndpointResume(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 2, JournalDir: t.TempDir()})
+	id, err := srv.Submit(QueryRequest{Query: smallQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream?from=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream endpoint returned %d", resp.StatusCode)
+	}
+	var types []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		types = append(types, ev.Type)
+	}
+	// 4-point sweep, from=3: job line, point 4, result.
+	if want := []string{"job", "point", "result"}; strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("from=3 stream shape = %v, want %v", types, want)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/job-999/stream"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job stream returned %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream?from=wat"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad cursor returned %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// TestQueryFromSuppression: a re-submitted query with from=N (the
+// coordinator-takeover path) executes the full sweep but streams only
+// the undelivered points — done numbering stays global, the table is
+// complete.
+func TestQueryFromSuppression(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2, JournalDir: t.TempDir()})
+	want := lastEvent(t, postQuery(t, ts, smallQuery))
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		bytes.NewReader(mustJSON(t, QueryRequest{Query: smallQuery, From: 2})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var points []int
+	var table string
+	for sc.Scan() {
+		var ev struct {
+			Type  string `json:"type"`
+			Done  int    `json:"done"`
+			Table string `json:"table"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Type {
+		case "point":
+			points = append(points, ev.Done)
+		case "result":
+			table = ev.Table
+		}
+	}
+	if len(points) != 2 || points[0] != 3 || points[1] != 4 {
+		t.Fatalf("from=2 streamed done=%v, want [3 4]", points)
+	}
+	if table != want["table"] {
+		t.Fatalf("from=2 table differs from full run")
+	}
+}
+
+// TestJournalDisabledMatchesLegacy: -journal "" must behave exactly as
+// before the durability layer existed — inline streaming, identical
+// event shapes, a 404 from the stream endpoint.
+func TestJournalDisabledMatchesLegacy(t *testing.T) {
+	srvOn, tsOn := newTestServer(t, Config{PoolSize: 2, JournalDir: t.TempDir()})
+	srvOff, tsOff := newTestServer(t, Config{PoolSize: 2})
+	if srvOn.journal == nil || srvOff.journal != nil {
+		t.Fatal("journal wiring inverted")
+	}
+
+	on := postQuery(t, tsOn, smallQuery)
+	off := postQuery(t, tsOff, smallQuery)
+	if len(on) != len(off) {
+		t.Fatalf("journaled stream has %d events, inline %d", len(on), len(off))
+	}
+	tOn := lastEvent(t, on)
+	tOff := lastEvent(t, off)
+	if tOn["table"] != tOff["table"] {
+		t.Fatalf("tables differ with journaling on/off")
+	}
+
+	// The disabled daemon keeps no stream to resume.
+	events := postQuery(t, tsOff, smallQuery)
+	id, _ := events[0]["id"].(string)
+	resp, err := http.Get(tsOff.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("inline job stream returned %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCoordinatorTakeoverGolden: kill the fleet coordinator mid-merge
+// and stand up a replacement over the same journal directory. The new
+// coordinator must reconstruct the job from journal + caches, re-plan
+// only the missing shards, and deliver the byte-identical table under
+// the original job id.
+func TestCoordinatorTakeoverGolden(t *testing.T) {
+	_, single := newTestServer(t, Config{PoolSize: 2})
+	want := lastEvent(t, postQuery(t, single, bigQuery))
+	wantTable, _ := want["table"].(string)
+
+	// Two live workers shared by both coordinator generations.
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		_, ts := newTestServer(t, Config{PoolSize: 2, CacheDir: t.TempDir()})
+		urls[i] = ts.URL
+	}
+
+	journalDir := t.TempDir()
+	c1, err := New(Config{Coordinator: true, Peers: urls, JournalDir: journalDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := crashAtPoint(t, c1, bigQuery, 2)
+
+	c2, err := New(Config{Coordinator: true, Peers: urls, JournalDir: journalDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	resumed, warns, err := c2.Recover()
+	if err != nil || resumed != 1 {
+		t.Fatalf("takeover resumed %d jobs (err=%v, warnings=%v)", resumed, err, warns)
+	}
+
+	lines := collectJob(t, c2, id, 0)
+	if got := tableOf(t, lines); got != wantTable {
+		t.Fatalf("takeover table differs from single-daemon run:\n--- want ---\n%s--- got ---\n%s", wantTable, got)
+	}
+	points := 0
+	for _, ln := range lines {
+		var ev PointEvent
+		if json.Unmarshal(ln, &ev) == nil && ev.Type == "point" {
+			points++
+			if ev.Done != points {
+				t.Fatalf("takeover stream out of order at %d: %s", points, ln)
+			}
+		}
+	}
+	if points != 12 {
+		t.Fatalf("takeover streamed %d points, want 12", points)
+	}
+}
+
+// TestChaosCutResume: with cut=3 chaos aborting every streaming
+// response after three writes, a client that reconnects with
+// from=<received> (the wtql/wtload loop) must still converge to the
+// exact table — end-to-end proof that resume survives repeated
+// connection loss.
+func TestChaosCutResume(t *testing.T) {
+	_, clean := newTestServer(t, Config{PoolSize: 2})
+	want := lastEvent(t, postQuery(t, clean, smallQuery))
+
+	srv, err := New(Config{
+		PoolSize:   2,
+		JournalDir: t.TempDir(),
+		Chaos:      NewFaultInjector(FaultConfig{CutEvery: 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		bytes.NewReader(mustJSON(t, QueryRequest{Query: smallQuery})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobID, table string
+	points, attempts := 0, 1
+	for table == "" {
+		jid, pts, tbl := drainCutStream(t, resp)
+		if jid != "" {
+			jobID = jid
+		}
+		points += pts
+		if tbl != "" {
+			table = tbl
+			break
+		}
+		if attempts++; attempts > 20 {
+			t.Fatalf("no result after %d attempts (%d points)", attempts, points)
+		}
+		if jobID == "" {
+			t.Fatal("stream died before the job event")
+		}
+		resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream?from=%d", ts.URL, jobID, points))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("resume attempt returned %d", resp.StatusCode)
+		}
+	}
+	if attempts < 2 {
+		t.Fatalf("chaos cut never fired (attempts=%d) — the test proved nothing", attempts)
+	}
+	if points != 4 {
+		t.Fatalf("received %d point events across %d attempts, want exactly 4 (no duplicates, no loss)", points, attempts)
+	}
+	if table != want["table"] {
+		t.Fatalf("resumed table differs from clean run:\n--- want ---\n%v--- got ---\n%v", want["table"], table)
+	}
+	if cuts := srv.chaos.Stats().Cuts; cuts == 0 {
+		t.Fatalf("injector recorded no cuts")
+	}
+}
+
+// drainCutStream reads one chaos-truncated connection to its (possibly
+// violent) end, returning what arrived.
+func drainCutStream(t *testing.T, resp *http.Response) (jobID string, points int, table string) {
+	t.Helper()
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var ev struct {
+				Type  string `json:"type"`
+				ID    string `json:"id"`
+				Table string `json:"table"`
+			}
+			if json.Unmarshal(bytes.TrimSpace(line), &ev) == nil {
+				switch ev.Type {
+				case "job":
+					jobID = ev.ID
+				case "point":
+					points++
+				case "result":
+					table = ev.Table
+				}
+			}
+		}
+		if err != nil {
+			if err == io.EOF && table != "" {
+				return jobID, points, table
+			}
+			return jobID, points, table
+		}
+	}
+}

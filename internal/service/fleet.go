@@ -140,9 +140,13 @@ type fleetMsg struct {
 // MONOTONE (pruned) sweep, whose dominance decisions depend on the
 // whole committed prefix — and the caller must execute it locally; the
 // job stays registered either way. On handled=true the job's terminal
-// state has been recorded.
-func (s *Server) executeFleet(ctx context.Context, id, query string, trials int,
-	onEvent func(ev PointEvent, out core.PointOutcome)) (*wtql.ResultSet, error, bool) {
+// state has been recorded. resume, when non-empty, is a journaled
+// committed prefix (coordinator takeover / restart): those points are
+// not re-planned onto workers, only the remainder is. onEvent receives
+// each merged point with its cache key, so a durable coordinator can
+// journal the event it just committed.
+func (s *Server) executeFleet(ctx context.Context, id, query string, trials int, resume []RecoveredPoint,
+	onEvent func(ev PointEvent, key string, out core.PointOutcome)) (*wtql.ResultSet, error, bool) {
 	q, err := wtql.Parse(query)
 	if err != nil {
 		s.finish(id, err)
@@ -167,7 +171,7 @@ func (s *Server) executeFleet(ctx context.Context, id, query string, trials int,
 	if plan.Pruned() {
 		return nil, nil, false
 	}
-	rs, err := s.runFleetPlan(ctx, id, query, plan, onEvent)
+	rs, err := s.runFleetPlan(ctx, id, query, plan, resume, onEvent)
 	s.finish(id, err)
 	return rs, err, true
 }
@@ -176,8 +180,8 @@ func (s *Server) executeFleet(ctx context.Context, id, query string, trials int,
 // events in global point order, and assembles the final result set.
 // Worker failures trigger shard failover; exhausted retry budgets
 // degrade the remainder to coordinator-local execution.
-func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.Plan,
-	onEvent func(ev PointEvent, out core.PointOutcome)) (*wtql.ResultSet, error) {
+func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.Plan, resume []RecoveredPoint,
+	onEvent func(ev PointEvent, key string, out core.PointOutcome)) (*wtql.ResultSet, error) {
 	f := s.fleet
 	keys, err := plan.PointKeys()
 	if err != nil {
@@ -187,6 +191,14 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 	points := plan.Points()
 	if total == 0 {
 		return plan.Assemble(nil)
+	}
+	// A journaled prefix (coordinator takeover) is already committed and
+	// already streamed: seed the merge state with it so only the
+	// remainder is planned onto shards, and resumed clients pick up at
+	// exactly the next undelivered index.
+	prefix, err := journaledPrefix(points, resume)
+	if err != nil {
+		return nil, err
 	}
 
 	fctx, cancel := context.WithCancel(ctx)
@@ -251,7 +263,8 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 	assign := make(map[string][]int)
 	var order []string
 	var localIdx []int
-	for i, k := range keys {
+	for i := len(prefix); i < total; i++ {
+		k := keys[i]
 		w, ok := f.ring.OwnerSkipping(k, func(node string) bool { return !f.health.Assignable(node) })
 		if !ok {
 			localIdx = append(localIdx, i)
@@ -271,10 +284,14 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 		received  = make([]bool, total)
 		outcomes  = make([]core.PointOutcome, total)
 		pending   = make(map[int]PointEvent)
-		nextIdx   = 0
-		committed = 0
+		nextIdx   = len(prefix)
+		committed = len(prefix)
 		firstErr  error
 	)
+	for i, out := range prefix {
+		received[i] = true
+		outcomes[i] = out
+	}
 	fail := func(err error) {
 		if firstErr == nil {
 			firstErr = err
@@ -401,7 +418,7 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 				next.Done, next.Total = committed, total
 				s.progress(id, committed, total, next.Cached)
 				if onEvent != nil {
-					onEvent(next, out)
+					onEvent(next, keys[next.Index], out)
 				}
 				nextIdx++
 			}

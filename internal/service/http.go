@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -26,6 +27,15 @@ type QueryRequest struct {
 	// global index so the coordinator can merge shards back into full
 	// point order.
 	Points []int `json:"points,omitempty"`
+	// From is the client's resume cursor on a re-submitted query: the
+	// number of point events it already received from a previous
+	// (crashed) server, which this server must not replay. The sweep
+	// still executes in full — completed points are trial-cache (or
+	// journal) hits — so the final table is byte-identical; only the
+	// stream starts at point From+1. This is the coordinator-takeover
+	// path: wtql fails over to the next -peers coordinator with
+	// from=<received>.
+	From int `json:"from,omitempty"`
 }
 
 // Stream event types, one JSON object per NDJSON line:
@@ -98,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheEntry)
@@ -158,6 +169,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Durable mode: client-facing queries run detached from this
+	// connection — journaled, resumable, crash-recoverable — and the
+	// handler becomes a stream follower. Fleet-shard requests
+	// (req.Points != nil) stay on the inline path below: the
+	// coordinator owns client-facing durability, and a worker
+	// resurrecting shards of a job the coordinator also resurrects
+	// would double the work.
+	if s.journal != nil && req.Points == nil {
+		id, err := s.Submit(req)
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorEvent{Type: "error", Error: err.Error()})
+			return
+		}
+		s.streamJob(w, r, id, req.From)
+		return
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -168,7 +196,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	id, jctx, err := s.newJob(r.Context(), req.Query)
+	id, jctx, err := s.newJob(r.Context(), req.Query, false)
 	if err != nil {
 		// Draining: refuse before anything streams.
 		writeJSON(w, http.StatusServiceUnavailable, ErrorEvent{Type: "error", Error: err.Error()})
@@ -185,8 +213,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		handled bool
 	)
 	if s.fleet != nil {
-		rs, err, handled = s.executeFleet(jctx, id, req.Query, req.Trials,
-			func(ev PointEvent, _ core.PointOutcome) { emit(ev) })
+		rs, err, handled = s.executeFleet(jctx, id, req.Query, req.Trials, nil,
+			func(ev PointEvent, _ string, _ core.PointOutcome) { emit(ev) })
 	}
 	if !handled {
 		rs, err = s.execute(jctx, id, req.Query, req.Trials, req.Points,
@@ -209,6 +237,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Table:     rs.Render(),
 		Degraded:  info.Degraded,
 	})
+}
+
+// handleStream resumes (or re-follows) a durable job's NDJSON stream:
+// GET /v1/jobs/{id}/stream?from=N replays the committed prefix from
+// point event N+1 byte-identically, then tails live until the terminal
+// line. from=0 (or omitted) replays the whole stream. Jobs that ran
+// inline (journaling disabled, or a fleet shard) have no recorded
+// stream and answer 404 — the client's cue to re-POST the query.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorEvent{Type: "error", Error: "bad from: want a non-negative integer"})
+			return
+		}
+		from = n
+	}
+	s.streamJob(w, r, r.PathValue("id"), from)
+}
+
+// streamJob follows a durable job, writing each line + newline and
+// flushing — the same bytes the inline path's json.Encoder produces.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, id string, from int) {
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	err := s.Follow(r.Context(), id, from, func(line []byte) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wrote = true
+		}
+		// One Write per event line (json.Encoder's behavior on the inline
+		// path): an abort between an event and its newline would strand a
+		// never-flushed partial line, and the chaos cut counter assumes
+		// one write == one delivered event.
+		if _, err := w.Write(append(line[:len(line):len(line)], '\n')); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !wrote {
+		// Nothing streamed yet, so a proper status line is still possible.
+		if errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrNoStream) {
+			writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: err.Error()})
+		}
+	}
 }
 
 func pointEvent(done, total int, out core.PointOutcome) PointEvent {

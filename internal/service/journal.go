@@ -1,0 +1,400 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The job journal is windtunneld's write-ahead log: the durability layer
+// that lets a daemon survive the very failure modes its scenarios
+// simulate (kill -9, OOM, power loss). One journal file per job records
+//
+//	begin    the submitted query + resolved trial count,
+//	point    one record per committed design point, carrying the
+//	         point's core.CacheKey and the exact NDJSON event line the
+//	         client was (or will be) sent,
+//	end      the terminal result/error line.
+//
+// Every record is appended with a single write() and fsync'd before the
+// corresponding event becomes visible to any client, so a stream
+// observer can never have seen an event a restarted daemon has
+// forgotten. On restart, Recover replays the files: complete jobs come
+// back replayable, incomplete jobs are resurrected and resume execution
+// of only their undelivered points — the committed prefix is served
+// verbatim from the journal, and the cache keys in the point records
+// make any re-planning a trial-cache hit rather than a re-simulation.
+//
+// Record framing is length-prefixed with a CRC over the payload:
+//
+//	[4B little-endian payload length][4B CRC-32 (IEEE) of payload][payload JSON]
+//
+// A torn tail write (crash mid-append) therefore shows up as a short or
+// CRC-failing record; Recover truncates the file back to the last good
+// record and reports it, never panicking and never silently dropping a
+// committed point that made it to disk intact.
+
+// journalVersion is the on-disk format version stamped into every begin
+// record. Files declaring a newer version are refused (with an explicit
+// warning) rather than half-parsed.
+const journalVersion = 1
+
+// journalExt is the per-job journal file suffix.
+const journalExt = ".wtj"
+
+// maxJournalRecord bounds one record's payload; anything larger is
+// treated as corruption (the length prefix is attacker/garbage-
+// controlled bytes on recovery).
+const maxJournalRecord = 64 << 20
+
+// journalRecord is the JSON payload of one framed record.
+type journalRecord struct {
+	Kind string `json:"kind"` // "begin" | "point" | "end"
+
+	// begin fields.
+	V       int       `json:"v,omitempty"`
+	Job     string    `json:"job,omitempty"`
+	Query   string    `json:"query,omitempty"`
+	Trials  int       `json:"trials,omitempty"`
+	Created time.Time `json:"created,omitzero"`
+
+	// point fields. Line is the verbatim NDJSON event line (without the
+	// trailing newline) so replay is byte-identical; Key is the point's
+	// content address so resumed planning re-uses cached trials.
+	Index int             `json:"index,omitempty"`
+	Key   string          `json:"key,omitempty"`
+	Line  json.RawMessage `json:"line,omitempty"`
+
+	// end fields: Status is "done", "failed" or "cancelled"; Line above
+	// carries the terminal result/error event.
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Journal manages the per-job journal files under one directory.
+type Journal struct {
+	dir string
+}
+
+// OpenJournal opens (creating if needed) a journal directory.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+func (j *Journal) path(jobID string) string {
+	return filepath.Join(j.dir, jobID+journalExt)
+}
+
+// Begin creates a new job journal and durably records the submitted
+// query and its resolved trial override.
+func (j *Journal) Begin(jobID, query string, trials int, created time.Time) (*JobJournal, error) {
+	f, err := os.OpenFile(j.path(jobID), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal begin: %w", err)
+	}
+	jj := &JobJournal{f: f, path: j.path(jobID)}
+	if err := jj.append(journalRecord{
+		Kind: "begin", V: journalVersion,
+		Job: jobID, Query: query, Trials: trials, Created: created.UTC(),
+	}); err != nil {
+		f.Close()
+		os.Remove(jj.path)
+		return nil, err
+	}
+	syncDir(j.dir) // the file's existence must survive the crash too
+	return jj, nil
+}
+
+// Reopen opens an existing (recovered, incomplete) job journal for
+// appending the resumed run's records.
+func (j *Journal) Reopen(jobID string) (*JobJournal, error) {
+	f, err := os.OpenFile(j.path(jobID), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal reopen: %w", err)
+	}
+	return &JobJournal{f: f, path: j.path(jobID)}, nil
+}
+
+// Remove deletes a job's journal file (registry eviction).
+func (j *Journal) Remove(jobID string) {
+	os.Remove(j.path(jobID))
+}
+
+// MaxSeq scans the directory for job-<n> journals and returns the
+// highest sequence number, so a restarted daemon's job IDs continue
+// past every journaled job instead of colliding with them.
+func (j *Journal) MaxSeq() int {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return 0
+	}
+	maxSeq := 0
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), journalExt)
+		if name == e.Name() {
+			continue
+		}
+		if n, ok := jobSeq(name); ok && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	return maxSeq
+}
+
+// jobSeq extracts the numeric suffix of a "job-<n>" id.
+func jobSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// JobJournal appends records for one job. Append order is the event
+// order; every append is one write() call followed by fsync, so a crash
+// tears at most the final record — which Recover then truncates away.
+type JobJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	dead bool // abandoned (crash simulation) or closed: appends become no-ops
+}
+
+func (jj *JobJournal) append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+
+	jj.mu.Lock()
+	defer jj.mu.Unlock()
+	if jj.dead {
+		return fmt.Errorf("service: journal %s is closed", jj.path)
+	}
+	if _, err := jj.f.Write(buf); err != nil {
+		return err
+	}
+	return jj.f.Sync()
+}
+
+// Point durably records one committed design point: its global index,
+// cache key, and the exact NDJSON line clients see.
+func (jj *JobJournal) Point(index int, key string, line []byte) error {
+	return jj.append(journalRecord{Kind: "point", Index: index, Key: key, Line: json.RawMessage(line)})
+}
+
+// End durably records the job's terminal event and closes the file.
+func (jj *JobJournal) End(status, errMsg string, line []byte) error {
+	err := jj.append(journalRecord{Kind: "end", Status: status, Error: errMsg, Line: json.RawMessage(line)})
+	jj.Close()
+	return err
+}
+
+// Close closes the underlying file; later appends fail cleanly.
+func (jj *JobJournal) Close() {
+	jj.mu.Lock()
+	defer jj.mu.Unlock()
+	if !jj.dead {
+		jj.dead = true
+		jj.f.Close()
+	}
+}
+
+// abandon simulates a crash for tests: the file is closed as-is, with
+// no terminal record, exactly as kill -9 would leave it.
+func (jj *JobJournal) abandon() { jj.Close() }
+
+// RecoveredPoint is one journaled committed design point.
+type RecoveredPoint struct {
+	Index int
+	Key   string
+	Line  []byte // verbatim NDJSON event line (no trailing newline)
+}
+
+// RecoveredJob is one job reconstructed from its journal file.
+type RecoveredJob struct {
+	ID      string
+	Query   string
+	Trials  int
+	Created time.Time
+	// Points is the committed contiguous prefix, in index order.
+	Points []RecoveredPoint
+	// Status is "" for an incomplete job (crashed mid-run; must be
+	// resumed), else the journaled terminal status.
+	Status  string
+	Error   string
+	EndLine []byte
+}
+
+// Recover scans every journal file, truncating corrupt tails, and
+// returns the reconstructed jobs in ascending job-sequence order plus
+// human-readable warnings for anything repaired or refused (torn tail
+// records, mid-file garbage, unsupported format versions). It never
+// fails the whole scan for one bad file: durability bugs in one job
+// must not take down recovery of the rest.
+func (j *Journal) Recover() ([]*RecoveredJob, []string, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: journal scan: %w", err)
+	}
+	var jobs []*RecoveredJob
+	var warnings []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), journalExt) {
+			continue
+		}
+		path := filepath.Join(j.dir, e.Name())
+		job, warns := recoverFile(path)
+		warnings = append(warnings, warns...)
+		if job != nil {
+			jobs = append(jobs, job)
+		}
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		sa, _ := jobSeq(jobs[a].ID)
+		sb, _ := jobSeq(jobs[b].ID)
+		if sa != sb {
+			return sa < sb
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return jobs, warnings, nil
+}
+
+// recoverFile replays one journal file. A framing error (short header,
+// oversize length, CRC mismatch, bad JSON) ends the replay at the last
+// good record and truncates the file there, so a reopened journal
+// appends from a clean boundary. Returns nil (with warnings) for files
+// that yield no usable job: empty, version-refused, or headless.
+func recoverFile(path string) (*RecoveredJob, []string) {
+	var warnings []string
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, []string{fmt.Sprintf("journal %s: %v", path, err)}
+	}
+	defer f.Close()
+
+	var (
+		job    *RecoveredJob
+		good   int64 // offset just past the last fully-valid record
+		header [8]byte
+		refuse bool
+	)
+	rd := io.Reader(f)
+	for {
+		if _, err := io.ReadFull(rd, header[:]); err != nil {
+			if err != io.EOF {
+				warnings = append(warnings, fmt.Sprintf("journal %s: torn record header at offset %d: truncating", path, good))
+				truncateAt(path, good, &warnings)
+			}
+			break
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if n > maxJournalRecord {
+			warnings = append(warnings, fmt.Sprintf("journal %s: corrupt record length %d at offset %d: truncating", path, n, good))
+			truncateAt(path, good, &warnings)
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			warnings = append(warnings, fmt.Sprintf("journal %s: torn record payload at offset %d: truncating", path, good))
+			truncateAt(path, good, &warnings)
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			warnings = append(warnings, fmt.Sprintf("journal %s: CRC mismatch at offset %d: truncating", path, good))
+			truncateAt(path, good, &warnings)
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			warnings = append(warnings, fmt.Sprintf("journal %s: bad record JSON at offset %d: truncating", path, good))
+			truncateAt(path, good, &warnings)
+			break
+		}
+		good += int64(8 + len(payload))
+
+		switch rec.Kind {
+		case "begin":
+			if rec.V > journalVersion {
+				warnings = append(warnings, fmt.Sprintf("journal %s: format version %d is newer than supported %d: refusing (leave for a newer daemon)", path, rec.V, journalVersion))
+				refuse = true
+			}
+			if job != nil || refuse {
+				break
+			}
+			job = &RecoveredJob{ID: rec.Job, Query: rec.Query, Trials: rec.Trials, Created: rec.Created}
+		case "point":
+			if job == nil || job.Status != "" {
+				break // headless or post-terminal: ignore
+			}
+			if rec.Index != len(job.Points) {
+				// Points are appended in commit order, so indices are
+				// contiguous from 0; a gap means lost writes. Keep the
+				// contiguous prefix — it is still a valid resume point.
+				warnings = append(warnings, fmt.Sprintf("journal %s: point index %d out of order (want %d): keeping contiguous prefix", path, rec.Index, len(job.Points)))
+				break
+			}
+			job.Points = append(job.Points, RecoveredPoint{Index: rec.Index, Key: rec.Key, Line: rec.Line})
+		case "end":
+			if job == nil || job.Status != "" {
+				break
+			}
+			job.Status = rec.Status
+			job.Error = rec.Error
+			job.EndLine = rec.Line
+		}
+		if refuse {
+			return nil, warnings
+		}
+	}
+	if job == nil {
+		if len(warnings) == 0 {
+			warnings = append(warnings, fmt.Sprintf("journal %s: no begin record: ignoring", path))
+		}
+		return nil, warnings
+	}
+	return job, warnings
+}
+
+// truncateAt cuts a journal file back to the last good record boundary.
+func truncateAt(path string, off int64, warnings *[]string) {
+	if err := os.Truncate(path, off); err != nil {
+		*warnings = append(*warnings, fmt.Sprintf("journal %s: truncate failed: %v", path, err))
+	}
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss (a no-op where directories cannot be opened).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

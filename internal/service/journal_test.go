@@ -1,0 +1,260 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeJournal builds one job's journal file through the production
+// append path and returns its path. end == "" leaves the job incomplete
+// (the state a crash leaves behind).
+func writeJournal(t *testing.T, dir, jobID string, points int, end string) string {
+	t.Helper()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jj, err := j.Begin(jobID, smallQuery, 2, time.Unix(1700000000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < points; i++ {
+		line, _ := json.Marshal(PointEvent{Type: "point", Done: i + 1, Total: points, Index: i})
+		if err := jj.Point(i, "key-"+jobID, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if end != "" {
+		line, _ := json.Marshal(ResultEvent{Type: "result", ID: jobID})
+		if err := jj.End(end, "", line); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		jj.abandon()
+	}
+	return j.path(jobID)
+}
+
+// TestJournalRoundTrip: begin + points + end written through the
+// production path recover exactly, and an incomplete journal (no end
+// record) comes back with empty status — the resume trigger.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, "job-1", 3, "done")
+	writeJournal(t, dir, "job-2", 2, "")
+
+	j, _ := OpenJournal(dir)
+	jobs, warns, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("clean journals produced warnings: %v", warns)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "job-1" || jobs[1].ID != "job-2" {
+		t.Fatalf("recovered %+v", jobs)
+	}
+	done, crashed := jobs[0], jobs[1]
+	if done.Status != "done" || len(done.Points) != 3 || done.Query != smallQuery || done.Trials != 2 {
+		t.Fatalf("completed job recovered as %+v", done)
+	}
+	if len(done.EndLine) == 0 {
+		t.Fatal("completed job lost its terminal line")
+	}
+	if crashed.Status != "" || len(crashed.Points) != 2 {
+		t.Fatalf("crashed job recovered as %+v", crashed)
+	}
+	var ev PointEvent
+	if err := json.Unmarshal(crashed.Points[1].Line, &ev); err != nil || ev.Done != 2 {
+		t.Fatalf("point line did not survive verbatim: %s (%v)", crashed.Points[1].Line, err)
+	}
+	if j.MaxSeq() != 2 {
+		t.Fatalf("MaxSeq = %d, want 2", j.MaxSeq())
+	}
+}
+
+// TestJournalTruncatedTail: a torn final record (crash mid-append) is
+// truncated away with a warning; the committed prefix survives and the
+// file is left at a clean boundary a Reopen can append to.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournal(t, dir, "job-1", 3, "")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: cut the file mid-payload.
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, _ := OpenJournal(dir)
+	jobs, warns, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || len(jobs[0].Points) != 2 || jobs[0].Status != "" {
+		t.Fatalf("recovered %+v", jobs)
+	}
+	if len(warns) == 0 || !strings.Contains(warns[0], "truncating") {
+		t.Fatalf("torn tail not reported: %v", warns)
+	}
+	// The truncated file must replay the same prefix with no warnings —
+	// the repair is durable, not re-diagnosed every restart.
+	jobs, warns, err = j.Recover()
+	if err != nil || len(warns) != 0 || len(jobs[0].Points) != 2 {
+		t.Fatalf("after repair: jobs=%+v warns=%v err=%v", jobs, warns, err)
+	}
+	// And an appended record lands on the clean boundary.
+	jj, err := j.Reopen("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, _ := json.Marshal(PointEvent{Type: "point", Done: 3, Total: 3, Index: 2})
+	if err := jj.Point(2, "k", line); err != nil {
+		t.Fatal(err)
+	}
+	jj.Close()
+	jobs, warns, _ = j.Recover()
+	if len(warns) != 0 || len(jobs[0].Points) != 3 {
+		t.Fatalf("append after repair: jobs=%+v warns=%v", jobs, warns)
+	}
+}
+
+// TestJournalGarbageMidFile: flipped bytes inside an earlier record (bit
+// rot, torn sector) fail the CRC; recovery keeps the records before the
+// damage, reports it, and never panics.
+func TestJournalGarbageMidFile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournal(t, dir, "job-1", 4, "")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte roughly in the middle — inside some point record's
+	// payload, past the begin record.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, _ := OpenJournal(dir)
+	jobs, warns, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("recovered %+v", jobs)
+	}
+	if n := len(jobs[0].Points); n >= 4 || jobs[0].Query != smallQuery {
+		t.Fatalf("corruption not detected: %d points recovered, query %q", n, jobs[0].Query)
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "truncating") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mid-file garbage not reported: %v", warns)
+	}
+}
+
+// TestJournalOversizeLengthIsCorruption: a garbage length prefix (e.g.
+// 0xffffffff) must be treated as corruption, not as an allocation
+// request.
+func TestJournalOversizeLengthIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournal(t, dir, "job-1", 2, "")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xffffffff)
+	f.Write(hdr[:])
+	f.Close()
+
+	j, _ := OpenJournal(dir)
+	jobs, warns, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || len(jobs[0].Points) != 2 {
+		t.Fatalf("recovered %+v", jobs)
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "corrupt record length") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("oversize length not reported: %v", warns)
+	}
+}
+
+// TestJournalNewerVersionRefused: a journal stamped with a future format
+// version is left alone with an explicit warning — a downgraded daemon
+// must refuse what it cannot parse rather than guess (or truncate a
+// newer daemon's valid data).
+func TestJournalNewerVersionRefused(t *testing.T) {
+	dir := t.TempDir()
+	payload, _ := json.Marshal(journalRecord{
+		Kind: "begin", V: journalVersion + 1, Job: "job-9", Query: smallQuery,
+	})
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	path := filepath.Join(dir, "job-9"+journalExt)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadFile(path)
+
+	j, _ := OpenJournal(dir)
+	jobs, warns, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("future-version journal parsed anyway: %+v", jobs)
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "newer than supported") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("version refusal not reported: %v", warns)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Fatal("refused journal was modified")
+	}
+}
+
+// TestJournalHeadlessFileIgnored: a journal with no begin record (or an
+// empty file) yields no job and a warning, never a panic.
+func TestJournalHeadlessFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-3"+journalExt), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := OpenJournal(dir)
+	jobs, warns, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 || len(warns) == 0 {
+		t.Fatalf("jobs=%+v warns=%v", jobs, warns)
+	}
+}

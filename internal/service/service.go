@@ -52,6 +52,10 @@ type JobInfo struct {
 	// CacheHits counts points served from the trial cache so far.
 	CacheHits int    `json:"cache_hits"`
 	Error     string `json:"error,omitempty"`
+	// Resumed marks a job resurrected from the journal after a daemon
+	// restart: its committed prefix was served from the journal, only
+	// undelivered points were (re-)executed.
+	Resumed bool `json:"resumed,omitempty"`
 	// Degraded is set when a coordinator exhausted a shard's retry
 	// budget (or had no assignable worker) and executed part of the
 	// sweep locally. The results are still correct and byte-identical —
@@ -59,10 +63,31 @@ type JobInfo struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
+// logLine is one NDJSON line of a job's event stream, kept in memory so
+// late (or reconnecting) clients can replay the committed prefix
+// byte-identically and then tail live.
+type logLine struct {
+	kind byte // 'j' job, 'p' point, 't' terminal (result or error)
+	data []byte
+}
+
 // job is the internal job record.
 type job struct {
 	info   JobInfo
 	cancel context.CancelFunc
+
+	// Durable (journaled) jobs additionally carry their full event
+	// stream. lines grows append-only under Server.mu and each element
+	// is immutable once appended; points counts the 'p' lines (the
+	// stream-resume cursor unit). logClosed is set when the terminal
+	// line lands. jj is the job's journal, nil when journaling is off —
+	// in which case lines stays empty and the job streams inline on its
+	// handler goroutine exactly as before journaling existed.
+	durable   bool
+	lines     []logLine
+	points    int
+	logClosed bool
+	jj        *JobJournal
 }
 
 // Config configures a Server.
@@ -115,21 +140,36 @@ type Config struct {
 	// Chaos, when non-nil, wraps the HTTP handler with the fault
 	// injector (the windtunneld -chaos flag).
 	Chaos *FaultInjector
+	// JournalDir, when non-empty, enables the durable job layer: every
+	// client-facing query is write-ahead journaled (query, one fsync'd
+	// record per committed point with its cache key, terminal record),
+	// runs detached from its client connection, and is resumable via
+	// GET /v1/jobs/{id}/stream?from=N. After a crash, Recover replays
+	// the directory and resumes incomplete jobs. Empty disables
+	// journaling entirely: queries stream inline and die with their
+	// client connection, byte-identical to the pre-journal daemon.
+	JournalDir string
 }
 
 // Server owns the shared pool, the trial cache and the job registry. Its
 // HTTP interface is exposed via Handler.
 type Server struct {
-	cfg    Config
-	pool   *Pool
-	cache  *Cache
-	store  *results.Store
-	fleet  *fleet  // non-nil in coordinator mode
-	health *Health // non-nil whenever Peers is configured
-	chaos  *FaultInjector
-	now    func() time.Time
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	store   *results.Store
+	fleet   *fleet   // non-nil in coordinator mode
+	health  *Health  // non-nil whenever Peers is configured
+	journal *Journal // non-nil when Config.JournalDir is set
+	chaos   *FaultInjector
+	now     func() time.Time
+	// pointGate, when set (tests only), is called before each durable
+	// point commit — the hook crash tests use to freeze a job at an
+	// exact committed-point count before simulating kill -9.
+	pointGate func(index int)
 
 	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on any job-log append; streamers wait on it
 	jobs     map[string]*job
 	order    []string // insertion order, for stable listings
 	nextID   int
@@ -152,6 +192,16 @@ func New(cfg Config) (*Server, error) {
 		store: cfg.Store,
 		now:   time.Now,
 		jobs:  make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.JournalDir != "" {
+		s.journal, err = OpenJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		// Continue job numbering past every journaled job so a restarted
+		// daemon never reuses a journaled id.
+		s.nextID = s.journal.MaxSeq()
 	}
 	switch {
 	case cfg.Coordinator:
@@ -237,6 +287,34 @@ func (s *Server) CancelAll() {
 	}
 }
 
+// WaitJobs blocks until every running job has reached a terminal state
+// or ctx expires, reporting whether the registry drained. Durable jobs
+// run detached from their client connections, so http.Server.Shutdown
+// (which only waits for open connections) no longer implies the work is
+// done — the drain path must wait on the jobs themselves.
+func (s *Server) WaitJobs(ctx context.Context) bool {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		running := 0
+		for _, j := range s.jobs {
+			if j.info.State == JobRunning {
+				running++
+			}
+		}
+		s.mu.Unlock()
+		if running == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
 // maxRetainedJobs bounds the job registry: finished jobs beyond this
 // count are evicted oldest-first, so a long-running daemon's memory
 // does not grow with total queries served. Running jobs are never
@@ -244,8 +322,10 @@ func (s *Server) CancelAll() {
 const maxRetainedJobs = 1024
 
 // newJob registers a running job and returns its id plus a context the
-// sweep must run under.
-func (s *Server) newJob(parent context.Context, query string) (string, context.Context, error) {
+// sweep must run under. durable jobs keep a replayable stream log (see
+// durable.go); inline jobs stream on their handler goroutine and record
+// nothing.
+func (s *Server) newJob(parent context.Context, query string, durable bool) (string, context.Context, error) {
 	ctx, cancel := context.WithCancel(parent)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -259,7 +339,8 @@ func (s *Server) newJob(parent context.Context, query string) (string, context.C
 		info: JobInfo{
 			ID: id, Query: query, State: JobRunning, Created: s.now(),
 		},
-		cancel: cancel,
+		cancel:  cancel,
+		durable: durable,
 	}
 	s.order = append(s.order, id)
 	s.evictFinishedLocked()
@@ -275,6 +356,9 @@ func (s *Server) evictFinishedLocked() {
 			if s.jobs[id].info.State != JobRunning {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				if s.journal != nil {
+					s.journal.Remove(id)
+				}
 				evicted = true
 				break
 			}
@@ -404,13 +488,13 @@ func (s *Server) execute(ctx context.Context, id, query string, trials int, poin
 // as the HTTP path does.
 func (s *Server) RunQuery(ctx context.Context, query string, trials int,
 	onPoint func(done, total int, out core.PointOutcome)) (string, *wtql.ResultSet, error) {
-	id, jctx, err := s.newJob(ctx, query)
+	id, jctx, err := s.newJob(ctx, query, false)
 	if err != nil {
 		return "", nil, err
 	}
 	if s.fleet != nil {
-		rs, err, handled := s.executeFleet(jctx, id, query, trials,
-			func(ev PointEvent, out core.PointOutcome) {
+		rs, err, handled := s.executeFleet(jctx, id, query, trials, nil,
+			func(ev PointEvent, _ string, out core.PointOutcome) {
 				if onPoint != nil {
 					onPoint(ev.Done, ev.Total, out)
 				}

@@ -638,6 +638,20 @@ func (p *Plan) RunSubset(ctx context.Context, subset []int, onOutcome func(out c
 	return err
 }
 
+// Run executes the whole planned sweep on this plan's engine resources
+// and assembles the result set — the tail of Engine.RunContext, exposed
+// so a caller that needed the plan first (for PointKeys, say, or to
+// re-hydrate a journaled job from its recorded query text) does not
+// plan twice. The engine's Progress callback may be (re)assigned any
+// time before Run; it is read here, not at Plan time.
+func (p *Plan) Run(ctx context.Context) (*ResultSet, error) {
+	exploration, err := p.newExplorer().RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return p.Assemble(exploration.Outcomes)
+}
+
 // newExplorer wires the plan to the engine's shared resources.
 func (p *Plan) newExplorer() *core.Explorer {
 	return &core.Explorer{
