@@ -1,0 +1,58 @@
+// Command promlint validates a Prometheus text exposition against the
+// format invariants obs.Lint checks (HELP/TYPE coverage, duplicate
+// series, label escaping, cumulative histogram buckets, parseable
+// values). It reads the exposition from a URL argument or stdin and
+// exits non-zero when the payload has problems — CI points it at every
+// fleet member's live /metrics scrape.
+//
+// Usage:
+//
+//	promlint http://localhost:8866/metrics
+//	curl -s http://localhost:8866/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var data []byte
+	var err error
+	switch {
+	case len(os.Args) > 2:
+		fmt.Fprintln(os.Stderr, "usage: promlint [url] (or exposition on stdin)")
+		os.Exit(2)
+	case len(os.Args) == 2:
+		data, err = fetch(os.Args[1])
+	default:
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	problems := obs.Lint(data)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "promlint:", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}

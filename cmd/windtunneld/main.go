@@ -17,7 +17,19 @@
 //	DELETE /v1/jobs/{id}  cancel a running job
 //	GET    /v1/cache      trial-cache and pool statistics
 //	GET    /v1/fleet      fleet membership and per-member health
-//	GET    /v1/healthz    liveness ("ok", or "draining" during shutdown)
+//	GET    /v1/healthz    liveness ("ok", or "draining" during shutdown) + build identity
+//	GET    /v1/stats      operational snapshot (build, runtime, pool, cache, jobs)
+//	GET    /metrics       Prometheus text exposition (disable with -telemetry=false)
+//	GET    /v1/jobs/{id}/trace  the job's distributed trace tree (fleet-merged on a coordinator)
+//
+// Observability: every serving path is instrumented into a zero-
+// dependency metrics registry scraped at /metrics, and every job records
+// a distributed trace (plan → shard → simulate/cache-hit → merge →
+// journal) that a coordinator propagates to workers via the X-WT-Trace
+// header. -telemetry=false turns all of it off; tables and NDJSON
+// streams are byte-identical either way. -pprof mounts net/http/pprof
+// (plus /metrics and /v1/stats) on a separate listener kept off the
+// serving port.
 //
 // Durability: by default every client-facing query is write-ahead
 // journaled under -journal (one fsync'd record per committed design
@@ -91,6 +103,8 @@ func main() {
 	chaos := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.05,delay=0.1,delay-max=200ms,drop=0.05,reset=0.05,cut=3")
 	journal := flag.String("journal", "auto", `job journal directory for crash recovery ("auto" = wtjournal-<addr>; empty disables journaling)`)
 	storeInterval := flag.Duration("store-interval", time.Minute, "checkpoint the -store archive this often (0 = only on shutdown)")
+	telemetry := flag.Bool("telemetry", true, "metrics registry + /metrics exposition + distributed tracing")
+	pprofAddr := flag.String("pprof", "", "mount net/http/pprof (and /metrics, /v1/stats) on this separate address (empty = off)")
 	flag.Parse()
 
 	journalDir := *journal
@@ -112,6 +126,7 @@ func main() {
 		StreamIdleTimeout: *streamIdle,
 		MaxShardRetries:   *shardRetries,
 		JournalDir:        journalDir,
+		NoTelemetry:       !*telemetry,
 	}
 	if *chaos != "" {
 		fcfg, err := service.ParseFaultConfig(*chaos)
@@ -181,6 +196,16 @@ func main() {
 		}()
 	} else {
 		close(checkpointDone)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("windtunneld diagnostics (pprof, metrics, stats) on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, svc.DebugHandler()); err != nil &&
+				!errors.Is(err, http.ErrServerClosed) {
+				log.Printf("windtunneld: diagnostics listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -79,6 +79,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "wtload: %d requests, %d concurrent clients -> %s\n",
 		*requests, *clients, base)
+	if v := serverVersion(base); v != "" {
+		fmt.Fprintf(os.Stderr, "wtload: server %s\n", v)
+	}
 
 	var (
 		next        atomic.Int64
@@ -309,6 +312,30 @@ func printCacheStats(base string, client *http.Client) {
 	}
 	fmt.Printf("server cache: %d entries, %d hits (%d disk, %d peer), %d misses, %.1f%% hit rate, pool=%d\n",
 		st.Entries, st.Hits, st.DiskHits, st.PeerHits, st.Misses, 100*st.HitRate, st.PoolCap)
+}
+
+// serverVersion reads the daemon's build identity from /v1/healthz
+// ("" when the server predates the version field or is unreachable —
+// the load run proceeds either way).
+func serverVersion(base string) string {
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Version  string `json:"version"`
+		Go       string `json:"go"`
+		Revision string `json:"revision"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&hz) != nil || hz.Version == "" {
+		return ""
+	}
+	v := "windtunneld " + hz.Version + " (" + hz.Go
+	if hz.Revision != "" {
+		v += ", " + hz.Revision
+	}
+	return v + ")"
 }
 
 func fatal(err error) {

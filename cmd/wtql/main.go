@@ -53,6 +53,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "print per-point progress to stderr (daemon mode)")
 	reconnect := flag.Duration("reconnect", 45*time.Second, "daemon mode: keep reconnecting/resuming a dropped stream for up to this long (0 = fail fast)")
+	trace := flag.Bool("trace", false, "daemon mode: after the result, print the job's distributed-trace waterfall to stderr")
 	flag.Parse()
 
 	text := *query
@@ -101,10 +102,13 @@ func main() {
 		if len(servers) == 0 {
 			fatal(fmt.Errorf("-server given but empty"))
 		}
-		if err := runRemote(ctx, servers, text, remoteTrials, *progress, *reconnect); err != nil {
+		if err := runRemote(ctx, servers, text, remoteTrials, *progress, *reconnect, *trace); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *trace {
+		fatal(fmt.Errorf("-trace has no effect without -server: tracing lives in the daemon"))
 	}
 
 	engine := &wtql.Engine{Trials: *trials, Workers: *workers}
@@ -173,7 +177,7 @@ type remoteSession struct {
 // from=<received>, so the client never sees a point event twice and the
 // table prints exactly once. trials == 0 leaves the daemon's default in
 // force.
-func runRemote(ctx context.Context, servers []string, text string, trials int, progress bool, reconnect time.Duration) error {
+func runRemote(ctx context.Context, servers []string, text string, trials int, progress bool, reconnect time.Duration, trace bool) error {
 	s := &remoteSession{
 		servers: servers, text: text, trials: trials,
 		progress: progress, start: time.Now(),
@@ -183,6 +187,15 @@ func runRemote(ctx context.Context, servers []string, text string, trials int, p
 	for {
 		got, err := s.attempt(ctx)
 		if err == nil {
+			if trace && s.jobID != "" {
+				base := strings.TrimRight(s.servers[s.jobSrv], "/")
+				tr, terr := fetchTrace(ctx, base, s.jobID)
+				if terr != nil {
+					fmt.Fprintf(os.Stderr, "wtql: trace unavailable: %v\n", terr)
+				} else {
+					renderTrace(os.Stderr, tr)
+				}
+			}
 			return nil
 		}
 		var perm permanentError

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/design"
 	"repro/internal/sla"
@@ -35,6 +36,14 @@ type PointOutcome struct {
 	// Objective is the optimization value (lower is better) when the
 	// explorer has an objective function.
 	Objective float64
+	// Started/Elapsed/Waited time the point's execution (build + screen +
+	// cache lookup + simulate), with Waited the portion spent blocked on
+	// the Gate. They feed the serving layer's telemetry (latency
+	// histograms, trace spans) and are not part of any wire format or
+	// rendered output — fleet byte-identity never sees them.
+	Started time.Time
+	Elapsed time.Duration
+	Waited  time.Duration
 }
 
 // Exploration summarizes a design-space sweep.
@@ -372,6 +381,7 @@ func (e *Explorer) PointKeys() ([]string, error) {
 // point's result, in which case the cached statistics are reused and
 // only the SLA verdicts are recomputed.
 func (e *Explorer) runPoint(ctx context.Context, p design.Point) (PointOutcome, error) {
+	started := time.Now()
 	sc, slas, err := e.Build(p)
 	if err != nil {
 		return PointOutcome{}, fmt.Errorf("core: building point %s: %w", p.Key(), err)
@@ -400,6 +410,7 @@ func (e *Explorer) runPoint(ctx context.Context, p design.Point) (PointOutcome, 
 				out := PointOutcome{
 					Point: p, Result: res, Screened: true,
 					Decision: dec, AllMet: res.AllMet,
+					Started: started, Elapsed: time.Since(started),
 				}
 				if e.Objective != nil && res.AllMet {
 					obj, err := e.Objective(p, res)
@@ -437,11 +448,14 @@ func (e *Explorer) runPoint(ctx context.Context, p design.Point) (PointOutcome, 
 			fromCache = true
 		}
 	}
+	var waited time.Duration
 	if res == nil {
 		if e.Gate != nil {
+			gateStart := time.Now()
 			if err := e.Gate.Acquire(ctx); err != nil {
 				return PointOutcome{}, fmt.Errorf("core: running point %s: %w", p.Key(), err)
 			}
+			waited = time.Since(gateStart)
 		}
 		res, err = runner.simulate(ctx, sc)
 		if e.Gate != nil {
@@ -457,7 +471,10 @@ func (e *Explorer) runPoint(ctx context.Context, p design.Point) (PointOutcome, 
 	if err := runner.applySLAs(res); err != nil {
 		return PointOutcome{}, fmt.Errorf("core: running point %s: %w", p.Key(), err)
 	}
-	out := PointOutcome{Point: p, Result: res, AllMet: res.AllMet, FromCache: fromCache}
+	out := PointOutcome{
+		Point: p, Result: res, AllMet: res.AllMet, FromCache: fromCache,
+		Started: started, Elapsed: time.Since(started), Waited: waited,
+	}
 	if e.Objective != nil && res.AllMet {
 		obj, err := e.Objective(p, res)
 		if err != nil {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsCounter measures the hot-path counter increment — the
+// cost every committed point, cache hit and HTTP request pays.
+func BenchmarkMetricsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("wt_bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkMetricsCounterParallel measures the same increment under
+// GOMAXPROCS-way contention.
+func BenchmarkMetricsCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("wt_bench_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve measures one latency observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("wt_bench_seconds", "bench", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+// BenchmarkTraceSpan measures a full start-attr-end span record into the
+// ring buffer — the per-point tracing cost.
+func BenchmarkTraceSpan(b *testing.B) {
+	tr := NewTracer("bench", 4, 1024)
+	trace := tr.NewTraceID()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan(trace, "", "simulate")
+		sp.End()
+	}
+}
+
+// BenchmarkTraceAdd measures recording a pre-timed span (the point-commit
+// path, which reuses the outcome's measured duration).
+func BenchmarkTraceAdd(b *testing.B) {
+	tr := NewTracer("bench", 4, 1024)
+	trace := tr.NewTraceID()
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(Span{TraceID: trace, SpanID: tr.NewSpanID(), Name: "simulate", Start: now, Duration: time.Millisecond})
+	}
+}
+
+// BenchmarkWritePrometheus measures a full scrape over a realistic
+// registry (a few dozen series including histograms).
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, name := range []string{"wt_a_total", "wt_b_total", "wt_c_total", "wt_d_total"} {
+		r.Counter(name, "bench").Add(12345)
+	}
+	for _, route := range []string{"/v1/query", "/v1/jobs", "/v1/cache", "/v1/fleet"} {
+		h := r.Histogram("wt_http_request_seconds", "bench", DurationBuckets, "route", route)
+		for i := 0; i < 32; i++ {
+			h.Observe(float64(i) / 100)
+		}
+		r.Counter("wt_http_requests_total", "bench", "route", route, "code", "200").Add(99)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

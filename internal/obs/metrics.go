@@ -1,0 +1,390 @@
+// Package obs is the wind tunnel's zero-dependency observability layer:
+// a lock-cheap metrics registry with hand-rolled Prometheus text
+// exposition, a span tracer for distributed job traces, and runtime
+// snapshots for the stats endpoint. The serving layer (internal/service)
+// instruments every hot path through it; the instruments themselves are
+// designed so that the hot path — Counter.Add, Gauge.Set,
+// Histogram.Observe — is a handful of atomic operations and zero heap
+// allocations (pinned by an AllocsPerRun test). All instrument methods
+// are nil-receiver safe, so a server running with telemetry disabled
+// passes nil instruments around and every call site stays unguarded.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically-increasing uint64. The zero value is not
+// usable on its own — obtain counters from a Registry — but a nil
+// *Counter is: all methods no-op, so disabled telemetry needs no call
+// site guards.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value (queue depths, in-flight
+// counts). Nil-receiver safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by delta (negative deltas decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative only
+// at exposition time: Observe increments exactly one bucket counter (the
+// first whose upper bound >= v) plus the count and the CAS-updated sum,
+// keeping the hot path allocation-free. The bucket layout is fixed at
+// registration — no resizing, no locks.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations. It is derived from the
+// bucket counters (not a separate atomic) so the exposition's _count is
+// always exactly the +Inf cumulative bucket, even mid-scrape.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DurationBuckets is the default latency bucket layout, in seconds:
+// 5µs to 10s, roughly logarithmic — wide enough for a pool wait under
+// contention and fine enough for a journal fsync.
+var DurationBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// instrument is one registered series: exactly one of the pointers is
+// set. fn-backed series are read at exposition time — the bridge for
+// values another subsystem already maintains (cache stats, pool depth,
+// runtime goroutine counts).
+type instrument struct {
+	labels string // rendered `{k="v",...}` suffix, "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge" | "histogram"
+	series  []*instrument
+	byLabel map[string]*instrument
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration takes a mutex (cold path); registered
+// instruments are updated lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders variadic k1, v1, k2, v2 pairs as a deterministic
+// `{k1="v1",k2="v2"}` suffix. Values are escaped per the exposition
+// format; keys are assumed to be valid identifiers (they come from call
+// sites, not user input).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns (creating if needed) the series for name+labels,
+// enforcing one type and one help string per family.
+func (r *Registry) lookup(name, help, typ string, labels []string) *instrument {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byLabel: make(map[string]*instrument)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if ins := f.byLabel[ls]; ins != nil {
+		return ins
+	}
+	ins := &instrument{labels: ls}
+	f.byLabel[ls] = ins
+	f.series = append(f.series, ins)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	return ins
+}
+
+// Counter registers (or fetches) a counter series. On a nil registry it
+// returns nil, which is a valid no-op counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	ins := r.lookup(name, help, "counter", labels)
+	if ins.c == nil && ins.fn == nil {
+		ins.c = &Counter{}
+	}
+	return ins.c
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ins := r.lookup(name, help, "gauge", labels)
+	if ins.g == nil && ins.fn == nil {
+		ins.g = &Gauge{}
+	}
+	return ins.g
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets must ascend", name))
+		}
+	}
+	ins := r.lookup(name, help, "histogram", labels)
+	if ins.h == nil {
+		h := &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+		ins.h = h
+	}
+	return ins.h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time — the bridge for cumulative values another subsystem
+// already tracks under its own lock.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	ins := r.lookup(name, help, "counter", labels)
+	ins.fn = fn
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	ins := r.lookup(name, help, "gauge", labels)
+	ins.fn = fn
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one HELP
+// and TYPE line each, series sorted by label set, histograms expanded
+// into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	// Snapshot the series slices under the lock; instrument reads below
+	// are atomic and need no lock.
+	series := make([][]*instrument, len(fams))
+	for i, f := range fams {
+		series[i] = append([]*instrument(nil), f.series...)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ins := range series[i] {
+			switch {
+			case ins.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, ins.labels, formatFloat(ins.fn()))
+			case ins.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ins.labels, ins.c.Value())
+			case ins.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ins.labels, ins.g.Value())
+			case ins.h != nil:
+				writeHistogram(&b, f.name, ins)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// le labels (ending at +Inf), then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, ins *instrument) {
+	h := ins.h
+	// Merge the series labels with the per-bucket le label.
+	open := "{"
+	base := ""
+	if ins.labels != "" {
+		base = ins.labels[1:len(ins.labels)-1] + ","
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s%sle=%q} %d\n", name, open, base, formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s%sle=\"+Inf\"} %d\n", name, open, base, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, ins.labels, formatFloat(h.Sum()))
+	// _count is the same one-pass cumulative total as the +Inf bucket, so
+	// the two never disagree under a concurrent scrape.
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ins.labels, cum)
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime — the
+// payload of GET /v1/stats and the source for the wt_go_* gauge
+// bridges.
+type RuntimeStats struct {
+	GoVersion  string `json:"go_version"`
+	Revision   string `json:"revision,omitempty"`
+	Goroutines int    `json:"goroutines"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+	HeapObjects     uint64 `json:"heap_objects"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+
+	GCRuns              uint32    `json:"gc_runs"`
+	LastGCPauseSeconds  float64   `json:"last_gc_pause_seconds"`
+	TotalGCPauseSeconds float64   `json:"total_gc_pause_seconds"`
+	LastGC              time.Time `json:"last_gc,omitzero"`
+}
+
+// ReadRuntime captures a RuntimeStats snapshot. It calls
+// runtime.ReadMemStats, which briefly stops the world — fine for an
+// operator endpoint, not for a per-request path.
+func ReadRuntime() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	st := RuntimeStats{
+		GoVersion:  runtime.Version(),
+		Revision:   vcsRevision(),
+		Goroutines: runtime.NumGoroutine(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+
+		HeapAllocBytes:  m.HeapAlloc,
+		HeapSysBytes:    m.HeapSys,
+		HeapObjects:     m.HeapObjects,
+		TotalAllocBytes: m.TotalAlloc,
+
+		GCRuns:              m.NumGC,
+		TotalGCPauseSeconds: float64(m.PauseTotalNs) / 1e9,
+	}
+	if m.NumGC > 0 {
+		st.LastGCPauseSeconds = float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+		st.LastGC = time.Unix(0, int64(m.LastGC)).UTC()
+	}
+	return st
+}
+
+// vcsRevision returns the build's VCS revision when the binary carries
+// build info (module builds do; plain `go test` binaries may not).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation within a job trace. A fleet job's spans
+// form one tree rooted at the coordinator's job span: the coordinator
+// propagates (trace_id, parent span_id) to workers in the X-WT-Trace
+// header, so a worker's shard span — and every point span under it —
+// hangs off the coordinator's tree.
+type Span struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Parent  string `json:"parent_id,omitempty"`
+	Name    string `json:"name"`
+	// Worker identifies the process that recorded the span
+	// ("coordinator", a worker URL, or "local" for a single daemon).
+	Worker string    `json:"worker,omitempty"`
+	Start  time.Time `json:"start"`
+	// Duration is measured against the monotonic clock (time.Since), so
+	// spans never go negative under wall-clock adjustment. It marshals
+	// as integer nanoseconds.
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into bounded per-trace ring buffers.
+// Two bounds keep a long-running daemon's memory flat: each trace holds
+// at most maxSpans spans (oldest dropped first), and at most maxTraces
+// traces are retained (oldest trace evicted whole). A nil *Tracer is
+// safe everywhere and records nothing.
+type Tracer struct {
+	worker    string
+	maxTraces int
+	maxSpans  int
+
+	nonce string        // per-process random prefix: span ids never collide across the fleet
+	seq   atomic.Uint64 // per-process span counter
+
+	mu     sync.Mutex
+	traces map[string]*traceBuf
+	order  []string // trace insertion order, for whole-trace eviction
+}
+
+// traceBuf is one trace's span ring.
+type traceBuf struct {
+	spans   []Span
+	next    int // ring write cursor once full
+	full    bool
+	dropped uint64
+}
+
+// DefaultMaxTraces and DefaultMaxSpans bound the tracer when the caller
+// passes zero.
+const (
+	DefaultMaxTraces = 128
+	DefaultMaxSpans  = 2048
+)
+
+// NewTracer builds a tracer. worker labels every span this process
+// records; maxTraces/maxSpans <= 0 pick the defaults.
+func NewTracer(worker string, maxTraces, maxSpans int) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Tracer{
+		worker:    worker,
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+		nonce:     randomHex(4),
+		traces:    make(map[string]*traceBuf),
+	}
+}
+
+// NewTraceID mints a fresh 16-byte hex trace id. Only trace roots (one
+// per job) pay for crypto/rand.
+func (t *Tracer) NewTraceID() string {
+	if t == nil {
+		return ""
+	}
+	return randomHex(16)
+}
+
+// NewSpanID mints a process-unique span id: the process nonce plus a
+// counter — no RNG on the span path.
+func (t *Tracer) NewSpanID() string {
+	if t == nil {
+		return ""
+	}
+	return t.nonce + "-" + hexUint(t.seq.Add(1))
+}
+
+// Add records one completed span. Spans for a brand-new trace may evict
+// the oldest retained trace; spans past a trace's ring capacity
+// overwrite the oldest span in that trace.
+func (t *Tracer) Add(sp Span) {
+	if t == nil || sp.TraceID == "" {
+		return
+	}
+	if sp.Worker == "" {
+		sp.Worker = t.worker
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tb := t.traces[sp.TraceID]
+	if tb == nil {
+		for len(t.order) >= t.maxTraces {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+		tb = &traceBuf{}
+		t.traces[sp.TraceID] = tb
+		t.order = append(t.order, sp.TraceID)
+	}
+	if !tb.full {
+		tb.spans = append(tb.spans, sp)
+		if len(tb.spans) >= t.maxSpans {
+			tb.full = true
+		}
+		return
+	}
+	tb.spans[tb.next] = sp
+	tb.next = (tb.next + 1) % len(tb.spans)
+	tb.dropped++
+}
+
+// Spans returns a trace's recorded spans in record order (oldest first)
+// plus how many were dropped to the ring bound. Unknown traces return
+// (nil, 0).
+func (t *Tracer) Spans(traceID string) ([]Span, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tb := t.traces[traceID]
+	if tb == nil {
+		return nil, 0
+	}
+	out := make([]Span, 0, len(tb.spans))
+	out = append(out, tb.spans[tb.next:]...)
+	out = append(out, tb.spans[:tb.next]...)
+	return out, tb.dropped
+}
+
+// SpanHandle is an in-flight span: created by StartSpan, finished by
+// End, which stamps the monotonic duration and records it. A nil handle
+// (nil tracer) is safe to use.
+type SpanHandle struct {
+	t     *Tracer
+	span  Span
+	start time.Time
+	done  atomic.Bool
+}
+
+// StartSpan opens a span under (traceID, parent). The handle's ID feeds
+// child spans and cross-process propagation.
+func (t *Tracer) StartSpan(traceID, parent, name string) *SpanHandle {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	now := time.Now()
+	return &SpanHandle{
+		t: t,
+		span: Span{
+			TraceID: traceID, SpanID: t.NewSpanID(), Parent: parent,
+			Name: name, Start: now,
+		},
+		start: now,
+	}
+}
+
+// ID returns the span id ("" on a nil handle).
+func (h *SpanHandle) ID() string {
+	if h == nil {
+		return ""
+	}
+	return h.span.SpanID
+}
+
+// Attr attaches a key/value attribute and returns the handle for
+// chaining. After End it is a no-op: the recorded span shares the Attrs
+// map, so a late Attr would race with readers of the trace.
+func (h *SpanHandle) Attr(k, v string) *SpanHandle {
+	if h == nil || h.done.Load() {
+		return h
+	}
+	if h.span.Attrs == nil {
+		h.span.Attrs = make(map[string]string)
+	}
+	h.span.Attrs[k] = v
+	return h
+}
+
+// End stamps the duration and records the span. Safe to call more than
+// once; only the first End records.
+func (h *SpanHandle) End() {
+	if h == nil || !h.done.CompareAndSwap(false, true) {
+		return
+	}
+	h.span.Duration = time.Since(h.start)
+	h.t.Add(h.span)
+}
+
+// randomHex returns n random bytes hex-encoded.
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing means the platform is broken; fall back to
+		// a fixed nonce rather than panicking the daemon.
+		for i := range b {
+			b[i] = byte(i * 37)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// hexUint formats a counter in hex without fmt (no hot-path allocs
+// beyond the string itself).
+func hexUint(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer("coordinator", 0, 0)
+	trace := tr.NewTraceID()
+	if trace == "" || len(trace) != 32 {
+		t.Fatalf("bad trace id %q", trace)
+	}
+	root := tr.StartSpan(trace, "", "job").Attr("job", "job-1")
+	child := tr.StartSpan(trace, root.ID(), "plan")
+	child.End()
+	tr.Add(Span{
+		TraceID: trace, SpanID: tr.NewSpanID(), Parent: root.ID(),
+		Name: "simulate", Worker: "http://w1", Start: time.Now(), Duration: time.Millisecond,
+	})
+	root.End()
+
+	spans, dropped := tr.Spans(trace)
+	if dropped != 0 {
+		t.Fatalf("dropped %d spans", dropped)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["plan"].Parent != byName["job"].SpanID {
+		t.Fatal("plan span not parented under job")
+	}
+	if byName["simulate"].Worker != "http://w1" {
+		t.Fatal("explicit span worker overwritten")
+	}
+	if byName["plan"].Worker != "coordinator" {
+		t.Fatal("tracer did not stamp its worker label")
+	}
+	if byName["job"].Attrs["job"] != "job-1" {
+		t.Fatal("attr lost")
+	}
+	if byName["job"].Duration <= 0 {
+		t.Fatal("ended span has no duration")
+	}
+}
+
+// TestRingBound pins the per-trace span bound: the ring never grows past
+// cap and keeps the newest spans, dropping the oldest.
+func TestRingBound(t *testing.T) {
+	tr := NewTracer("w", 4, 8)
+	trace := tr.NewTraceID()
+	for i := 0; i < 50; i++ {
+		tr.Add(Span{TraceID: trace, SpanID: tr.NewSpanID(), Name: spanName(i)})
+	}
+	spans, dropped := tr.Spans(trace)
+	if len(spans) != 8 {
+		t.Fatalf("ring grew to %d spans, cap is 8", len(spans))
+	}
+	if dropped != 42 {
+		t.Fatalf("want 42 dropped, got %d", dropped)
+	}
+	// Oldest dropped: the survivors are exactly spans 42..49 in order.
+	for i, sp := range spans {
+		if want := spanName(42 + i); sp.Name != want {
+			t.Fatalf("span %d: want %s, got %s", i, want, sp.Name)
+		}
+	}
+}
+
+func spanName(i int) string {
+	return "s" + hexUint(uint64(i))
+}
+
+// TestTraceEviction pins the trace-count bound: a new trace evicts the
+// oldest retained one, whole.
+func TestTraceEviction(t *testing.T) {
+	tr := NewTracer("w", 2, 8)
+	t1, t2, t3 := tr.NewTraceID(), tr.NewTraceID(), tr.NewTraceID()
+	tr.Add(Span{TraceID: t1, SpanID: "a", Name: "one"})
+	tr.Add(Span{TraceID: t2, SpanID: "b", Name: "two"})
+	tr.Add(Span{TraceID: t3, SpanID: "c", Name: "three"})
+	if spans, _ := tr.Spans(t1); spans != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	if spans, _ := tr.Spans(t2); len(spans) != 1 {
+		t.Fatal("second trace lost")
+	}
+	if spans, _ := tr.Spans(t3); len(spans) != 1 {
+		t.Fatal("new trace not recorded")
+	}
+}
+
+// TestNilTracerSafe pins the disabled-telemetry contract for tracing.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.NewTraceID(); id != "" {
+		t.Fatal("nil tracer minted a trace id")
+	}
+	h := tr.StartSpan("x", "", "y")
+	if h != nil {
+		t.Fatal("nil tracer returned a live handle")
+	}
+	h.Attr("k", "v")
+	h.End()
+	if h.ID() != "" {
+		t.Fatal("nil handle has an id")
+	}
+	tr.Add(Span{TraceID: "x"})
+	if spans, _ := tr.Spans("x"); spans != nil {
+		t.Fatal("nil tracer holds spans")
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	tr := NewTracer("w", 0, 0)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := tr.NewSpanID()
+		if seen[id] {
+			t.Fatalf("duplicate span id %s", id)
+		}
+		seen[id] = true
+	}
+}

@@ -127,10 +127,23 @@ func (f *FaultInjector) plan() faultPlan {
 // truncation looks like a handler that simply stopped streaming.
 var errChaosDrop = fmt.Errorf("chaos: stream dropped")
 
+// chaosExempt lists the control-plane paths chaos never touches: the
+// liveness endpoint (a lying healthz tests the monitor's patience, not
+// failover), and the observability surface — an operator debugging a
+// chaos run needs /metrics, /v1/stats and the profiler to tell the
+// truth about it.
+func chaosExempt(r *http.Request) bool {
+	switch r.URL.Path {
+	case "/v1/healthz", "/v1/stats", "/metrics":
+		return true
+	}
+	return strings.HasPrefix(r.URL.Path, "/debug/pprof")
+}
+
 // Wrap returns next with fault injection in front of it.
 func (f *FaultInjector) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/healthz" {
+		if chaosExempt(r) {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/design"
@@ -37,7 +38,13 @@ var (
 // client disconnect. The returned id can be streamed — repeatedly,
 // concurrently, resumably — via Follow.
 func (s *Server) Submit(req QueryRequest) (string, error) {
-	id, jctx, err := s.newJob(context.Background(), req.Query, true)
+	return s.submit(req, traceCtx{})
+}
+
+// submit is Submit plus the trace position a remote coordinator
+// propagated (zero for client-originated jobs).
+func (s *Server) submit(req QueryRequest, tr traceCtx) (string, error) {
+	id, jctx, err := s.newJob(context.Background(), req.Query, true, tr)
 	if err != nil {
 		return "", err
 	}
@@ -144,12 +151,15 @@ func (s *Server) appendPoint(j *job, index int, key string, line []byte) {
 		s.pointGate(index)
 	}
 	if jj := j.jj; jj != nil {
+		sp := s.tel.startSpan(j.trace, j.root.ID(), "journal_append").
+			Attr("index", strconv.Itoa(index))
 		if err := jj.Point(index, key, line); err != nil {
 			// Journaling broke mid-job (disk full, file gone). Serving
 			// continues non-durably; the journal is closed so recovery
 			// sees a clean prefix instead of a torn one.
 			jj.Close()
 		}
+		sp.End()
 	}
 	s.appendLine(j, 'p', line)
 }
@@ -226,6 +236,7 @@ func (s *Server) executeDurable(ctx context.Context, id string, req QueryRequest
 		s.finish(id, err)
 		return rs, err
 	}
+	trace, root := s.jobTrace(id)
 	var resume []RecoveredPoint
 	if res != nil {
 		resume = res.points
@@ -265,6 +276,7 @@ func (s *Server) executeDurable(ctx context.Context, id string, req QueryRequest
 		// sweep, with per-commit progress and event emission.
 		eng.Progress = func(done, total int, out core.PointOutcome) {
 			s.progress(id, done, total, out.FromCache)
+			s.tel.observePoint(trace, root, out)
 			emit(pointEvent(done, total, out), keys[out.Index], out)
 		}
 		rs, err := plan.Run(ctx)
@@ -279,6 +291,7 @@ func (s *Server) executeDurable(ctx context.Context, id string, req QueryRequest
 		// events the journal already holds.
 		eng.Progress = func(done, total int, out core.PointOutcome) {
 			s.progress(id, done, total, out.FromCache)
+			s.tel.observePoint(trace, root, out)
 			if done <= k {
 				return
 			}
@@ -301,6 +314,7 @@ func (s *Server) executeDurable(ctx context.Context, id string, req QueryRequest
 				outcomes = append(outcomes, out)
 				n := len(outcomes)
 				s.progress(id, n, total, out.FromCache)
+				s.tel.observePoint(trace, root, out)
 				emit(pointEvent(n, total, out), keys[out.Index], out)
 			})
 			if err != nil {
@@ -409,6 +423,14 @@ func (s *Server) restoreJob(rec *RecoveredJob) bool {
 		}
 	} else {
 		j.info.Resumed = true
+		// A resumed job starts a fresh trace: the pre-crash process's
+		// spans died with it.
+		if s.tel != nil && s.tel.tracer != nil {
+			j.trace = traceCtx{id: s.tel.tracer.NewTraceID()}
+			j.root = s.tel.startSpan(j.trace, "", "job").
+				Attr("job", rec.ID).Attr("resumed", "true")
+			j.info.TraceID = j.trace.id
+		}
 	}
 
 	s.mu.Lock()

@@ -10,12 +10,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/obs"
 	"repro/internal/wtql"
 )
 
@@ -124,6 +126,13 @@ type shard struct {
 	points  []int
 	attempt int
 	tried   map[string]bool
+
+	// span covers the shard stream's lifetime on the coordinator;
+	// traceHdr is the X-WT-Trace value propagated to the worker so the
+	// worker's job span hangs under this shard span. Both zero with
+	// tracing off.
+	span     *obs.SpanHandle
+	traceHdr string
 }
 
 // fleetMsg is one parsed line (or the terminal state) of a shard
@@ -163,7 +172,10 @@ func (s *Server) executeFleet(ctx context.Context, id, query string, trials int,
 	if trials > 0 {
 		eng.Trials = trials
 	}
+	trace, root := s.jobTrace(id)
+	planSp := s.tel.startSpan(trace, root, "plan")
 	plan, err := eng.Plan(q)
+	planSp.End()
 	if err != nil {
 		s.finish(id, err)
 		return nil, err, true
@@ -201,6 +213,11 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 		return nil, err
 	}
 
+	trace, root := s.jobTrace(id)
+	mergeSp := s.tel.startSpan(trace, root, "merge").
+		Attr("points", strconv.Itoa(total))
+	defer mergeSp.End()
+
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan fleetMsg, 16)
@@ -214,6 +231,17 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 	// backoff. The terminal done message is delivered unconditionally —
 	// the merge loop drains ch until every launched stream reports done.
 	launchStream := func(sh *shard, delay time.Duration) {
+		sh.span = s.tel.startSpan(trace, root, "shard").
+			Attr("worker", sh.worker).
+			Attr("points", strconv.Itoa(len(sh.points))).
+			Attr("attempt", strconv.Itoa(sh.attempt))
+		if trace.id != "" {
+			sh.traceHdr = trace.id + ":" + sh.span.ID()
+		}
+		s.tel.shardsLaunched.Inc()
+		if sh.attempt > 0 {
+			s.tel.shardRetries.Inc()
+		}
 		active++
 		go func() {
 			if delay > 0 {
@@ -242,9 +270,13 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 			s.markDegraded(id)
 		}
 		sh := &shard{worker: localWorker, points: indices}
+		sh.span = s.tel.startSpan(trace, root, "shard").
+			Attr("worker", localWorker).
+			Attr("points", strconv.Itoa(len(indices)))
 		active++
 		go func() {
 			err := plan.RunSubset(fctx, indices, func(out core.PointOutcome) {
+				s.tel.observePoint(trace, sh.span.ID(), out)
 				ev := pointEvent(0, 0, out)
 				select {
 				case ch <- fleetMsg{shard: sh, ev: &ev}:
@@ -305,10 +337,15 @@ func (s *Server) runFleetPlan(ctx context.Context, id, query string, plan *wtql.
 			active--
 			w := m.shard.worker
 			if m.err == nil {
+				m.shard.span.Attr("status", "ok").End()
 				if w != localWorker {
 					f.health.ReportSuccess(w)
 				}
 				continue
+			}
+			m.shard.span.Attr("status", "error").Attr("error", m.err.Error()).End()
+			if w != localWorker {
+				s.tel.workerFailures.Inc()
 			}
 			if w == localWorker {
 				// Local execution is the last resort; its failure is the
@@ -482,6 +519,9 @@ func (f *fleet) stream(ctx context.Context, sh *shard, query string, trials int,
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sh.traceHdr != "" {
+		req.Header.Set(traceHeader, sh.traceHdr)
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		fail(wrapErr(err))

@@ -102,18 +102,26 @@ type ErrorEvent struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the daemon's HTTP interface.
+// Handler returns the daemon's HTTP interface. Serving routes are
+// registered through route() for per-route metrics; the observability
+// endpoints themselves (/v1/healthz, /v1/stats, /metrics) stay
+// un-instrumented so health probes and scrapes do not feed back into
+// the request metrics they read.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/cache", s.handleCache)
-	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheEntry)
-	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	s.route(mux, "POST /v1/query", s.handleQuery)
+	s.route(mux, "GET /v1/jobs", s.handleJobs)
+	s.route(mux, "GET /v1/jobs/{id}", s.handleJob)
+	s.route(mux, "GET /v1/jobs/{id}/stream", s.handleStream)
+	s.route(mux, "GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.route(mux, "DELETE /v1/jobs/{id}", s.handleCancel)
+	s.route(mux, "GET /v1/cache", s.handleCache)
+	s.route(mux, "GET /v1/cache/{key}", s.handleCacheEntry)
+	s.route(mux, "GET /v1/fleet", s.handleFleet)
+	s.route(mux, "GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.chaos != nil {
 		return s.chaos.Wrap(mux)
 	}
@@ -123,7 +131,8 @@ func (s *Server) Handler() http.Handler {
 // handleHealthz answers liveness probes. A draining server still
 // answers 200 — it is alive and finishing work — but says so, and the
 // fleet health monitor maps "draining" to suspect: no new shards, no
-// hard failure.
+// hard failure. The body also carries the build identity so an operator
+// (or wtload) can tell which binary answered during a rolling upgrade.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -132,7 +141,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		buildIdentity
+	}{status, s.buildIdentity()})
 }
 
 // handleFleet exposes fleet membership and per-member health state.
@@ -177,7 +189,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// resurrecting shards of a job the coordinator also resurrects
 	// would double the work.
 	if s.journal != nil && req.Points == nil {
-		id, err := s.Submit(req)
+		id, err := s.submit(req, parseTraceHeader(r))
 		if err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, ErrorEvent{Type: "error", Error: err.Error()})
 			return
@@ -196,7 +208,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	id, jctx, err := s.newJob(r.Context(), req.Query, false)
+	id, jctx, err := s.newJob(r.Context(), req.Query, false, parseTraceHeader(r))
 	if err != nil {
 		// Draining: refuse before anything streams.
 		writeJSON(w, http.StatusServiceUnavailable, ErrorEvent{Type: "error", Error: err.Error()})
@@ -261,6 +273,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // streamJob follows a durable job, writing each line + newline and
 // flushing — the same bytes the inline path's json.Encoder produces.
 func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, id string, from int) {
+	if from > 0 {
+		s.tel.streamResumes.Inc()
+	}
 	flusher, _ := w.(http.Flusher)
 	wrote := false
 	err := s.Follow(r.Context(), id, from, func(line []byte) error {

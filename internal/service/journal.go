@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The job journal is windtunneld's write-ahead log: the durability layer
@@ -83,6 +85,12 @@ type journalRecord struct {
 // Journal manages the per-job journal files under one directory.
 type Journal struct {
 	dir string
+
+	// appends/fsync, when set via instrument, count records appended and
+	// time each append (write + fsync). Copied into every JobJournal so
+	// the hot append path reads plain fields; nil-safe no-ops otherwise.
+	appends *obs.Counter
+	fsync   *obs.Histogram
 }
 
 // OpenJournal opens (creating if needed) a journal directory.
@@ -96,6 +104,12 @@ func OpenJournal(dir string) (*Journal, error) {
 // Dir returns the journal directory.
 func (j *Journal) Dir() string { return j.dir }
 
+// instrument wires the journal's append counter and fsync-latency
+// histogram (nil instruments leave it un-instrumented).
+func (j *Journal) instrument(appends *obs.Counter, fsync *obs.Histogram) {
+	j.appends, j.fsync = appends, fsync
+}
+
 func (j *Journal) path(jobID string) string {
 	return filepath.Join(j.dir, jobID+journalExt)
 }
@@ -107,7 +121,7 @@ func (j *Journal) Begin(jobID, query string, trials int, created time.Time) (*Jo
 	if err != nil {
 		return nil, fmt.Errorf("service: journal begin: %w", err)
 	}
-	jj := &JobJournal{f: f, path: j.path(jobID)}
+	jj := &JobJournal{f: f, path: j.path(jobID), appends: j.appends, fsync: j.fsync}
 	if err := jj.append(journalRecord{
 		Kind: "begin", V: journalVersion,
 		Job: jobID, Query: query, Trials: trials, Created: created.UTC(),
@@ -127,7 +141,7 @@ func (j *Journal) Reopen(jobID string) (*JobJournal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: journal reopen: %w", err)
 	}
-	return &JobJournal{f: f, path: j.path(jobID)}, nil
+	return &JobJournal{f: f, path: j.path(jobID), appends: j.appends, fsync: j.fsync}, nil
 }
 
 // Remove deletes a job's journal file (registry eviction).
@@ -173,10 +187,12 @@ func jobSeq(id string) (int, bool) {
 // order; every append is one write() call followed by fsync, so a crash
 // tears at most the final record — which Recover then truncates away.
 type JobJournal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	dead bool // abandoned (crash simulation) or closed: appends become no-ops
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	dead    bool // abandoned (crash simulation) or closed: appends become no-ops
+	appends *obs.Counter
+	fsync   *obs.Histogram
 }
 
 func (jj *JobJournal) append(rec journalRecord) error {
@@ -194,10 +210,19 @@ func (jj *JobJournal) append(rec journalRecord) error {
 	if jj.dead {
 		return fmt.Errorf("service: journal %s is closed", jj.path)
 	}
+	var t0 time.Time
+	if jj.fsync != nil {
+		t0 = time.Now()
+	}
 	if _, err := jj.f.Write(buf); err != nil {
 		return err
 	}
-	return jj.f.Sync()
+	if err := jj.f.Sync(); err != nil {
+		return err
+	}
+	jj.appends.Inc()
+	jj.fsync.Observe(time.Since(t0).Seconds())
+	return nil
 }
 
 // Point durably records one committed design point: its global index,

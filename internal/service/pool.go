@@ -3,6 +3,9 @@ package service
 import (
 	"context"
 	"runtime"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Pool is the daemon's shared simulation worker budget: a counting
@@ -13,6 +16,13 @@ import (
 // pool" the serving layer promises.
 type Pool struct {
 	sem chan struct{}
+
+	// wait/queued, when set via instrument, record contended-acquire
+	// latency and the live waiter count. Both are nil-safe no-ops when
+	// telemetry is off, and the uncontended fast path in Acquire never
+	// touches a clock either way.
+	wait   *obs.Histogram
+	queued *obs.Gauge
 }
 
 // NewPool returns a pool with n slots (n <= 0 means GOMAXPROCS).
@@ -23,10 +33,29 @@ func NewPool(n int) *Pool {
 	return &Pool{sem: make(chan struct{}, n)}
 }
 
+// instrument wires the pool's wait histogram and queue-depth gauge
+// (nil instruments leave the pool un-instrumented).
+func (p *Pool) instrument(wait *obs.Histogram, queued *obs.Gauge) {
+	p.wait, p.queued = wait, queued
+}
+
 // Acquire blocks until a slot is free or ctx is done.
 func (p *Pool) Acquire(ctx context.Context) error {
+	// Uncontended fast path: no clock read, no gauge traffic.
 	select {
 	case p.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	var t0 time.Time
+	if p.wait != nil {
+		t0 = time.Now()
+	}
+	p.queued.Inc()
+	defer p.queued.Dec()
+	select {
+	case p.sem <- struct{}{}:
+		p.wait.Observe(time.Since(t0).Seconds())
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

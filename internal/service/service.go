@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/wtql"
 )
@@ -56,6 +57,9 @@ type JobInfo struct {
 	// restart: its committed prefix was served from the journal, only
 	// undelivered points were (re-)executed.
 	Resumed bool `json:"resumed,omitempty"`
+	// TraceID is the job's distributed trace id (empty with telemetry
+	// disabled). GET /v1/jobs/{id}/trace resolves it to the span tree.
+	TraceID string `json:"trace_id,omitempty"`
 	// Degraded is set when a coordinator exhausted a shard's retry
 	// budget (or had no assignable worker) and executed part of the
 	// sweep locally. The results are still correct and byte-identical —
@@ -88,6 +92,12 @@ type job struct {
 	points    int
 	logClosed bool
 	jj        *JobJournal
+
+	// trace/root are the job's distributed-trace identity: set once in
+	// newJob (before any worker goroutine exists) and read-only after,
+	// so commit paths read them without the registry lock.
+	trace traceCtx
+	root  *obs.SpanHandle
 }
 
 // Config configures a Server.
@@ -140,6 +150,11 @@ type Config struct {
 	// Chaos, when non-nil, wraps the HTTP handler with the fault
 	// injector (the windtunneld -chaos flag).
 	Chaos *FaultInjector
+	// NoTelemetry disables the observability layer (metrics registry,
+	// Prometheus exposition, distributed tracing). Telemetry is on by
+	// default because it is free on the serving contract: tables and
+	// NDJSON streams are byte-identical either way.
+	NoTelemetry bool
 	// JournalDir, when non-empty, enables the durable job layer: every
 	// client-facing query is write-ahead journaled (query, one fsync'd
 	// record per committed point with its cache key, terminal record),
@@ -162,6 +177,8 @@ type Server struct {
 	health  *Health  // non-nil whenever Peers is configured
 	journal *Journal // non-nil when Config.JournalDir is set
 	chaos   *FaultInjector
+	tel     *telemetry // nil when Config.NoTelemetry
+	started time.Time
 	now     func() time.Time
 	// pointGate, when set (tests only), is called before each durable
 	// point commit — the hook crash tests use to freeze a job at an
@@ -186,19 +203,35 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  NewPool(cfg.PoolSize),
-		cache: cache,
-		store: cfg.Store,
-		now:   time.Now,
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		pool:    NewPool(cfg.PoolSize),
+		cache:   cache,
+		store:   cfg.Store,
+		started: time.Now(),
+		now:     time.Now,
+		jobs:    make(map[string]*job),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	worker := "local"
+	switch {
+	case cfg.Coordinator:
+		worker = "coordinator"
+	case cfg.Self != "":
+		worker = cfg.Self
+	}
+	s.tel = newTelemetry(worker, !cfg.NoTelemetry)
+	s.pool.instrument(
+		s.tel.reg.Histogram("wt_pool_wait_seconds",
+			"Time a design point waited for a free pool slot (contended acquires only).",
+			obs.DurationBuckets),
+		s.tel.reg.Gauge("wt_pool_queue_depth",
+			"Design points currently waiting for a pool slot."))
 	if cfg.JournalDir != "" {
 		s.journal, err = OpenJournal(cfg.JournalDir)
 		if err != nil {
 			return nil, err
 		}
+		s.journal.instrument(s.tel.journalAppends, s.tel.journalFsync)
 		// Continue job numbering past every journaled job so a restarted
 		// daemon never reuses a journaled id.
 		s.nextID = s.journal.MaxSeq()
@@ -236,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 		cache.SetHealth(s.health)
 	}
 	s.chaos = cfg.Chaos
+	s.tel.bind(s)
 	return s, nil
 }
 
@@ -256,6 +290,9 @@ func (s *Server) markDegraded(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
+		if !j.info.Degraded {
+			s.tel.degradedJobs.Inc()
+		}
 		j.info.Degraded = true
 	}
 }
@@ -324,8 +361,10 @@ const maxRetainedJobs = 1024
 // newJob registers a running job and returns its id plus a context the
 // sweep must run under. durable jobs keep a replayable stream log (see
 // durable.go); inline jobs stream on their handler goroutine and record
-// nothing.
-func (s *Server) newJob(parent context.Context, query string, durable bool) (string, context.Context, error) {
+// nothing. tr is the job's position in a distributed trace: zero for a
+// locally-originated job (a fresh trace id is minted), carrying a parent
+// span when a remote coordinator propagated one via X-WT-Trace.
+func (s *Server) newJob(parent context.Context, query string, durable bool, tr traceCtx) (string, context.Context, error) {
 	ctx, cancel := context.WithCancel(parent)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -335,13 +374,27 @@ func (s *Server) newJob(parent context.Context, query string, durable bool) (str
 	}
 	s.nextID++
 	id := "job-" + strconv.Itoa(s.nextID)
-	s.jobs[id] = &job{
+	j := &job{
 		info: JobInfo{
 			ID: id, Query: query, State: JobRunning, Created: s.now(),
 		},
 		cancel:  cancel,
 		durable: durable,
 	}
+	if s.tel != nil && s.tel.tracer != nil {
+		rootName := "job"
+		if tr.id == "" {
+			tr.id = s.tel.tracer.NewTraceID()
+		} else if tr.parent != "" {
+			// A coordinator opened this trace; our root is the worker-side
+			// subtree under the coordinator's shard span.
+			rootName = "worker"
+		}
+		j.trace = tr
+		j.root = s.tel.startSpan(tr, tr.parent, rootName).Attr("job", id)
+		j.info.TraceID = tr.id
+	}
+	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictFinishedLocked()
 	return id, ctx, nil
@@ -369,8 +422,12 @@ func (s *Server) evictFinishedLocked() {
 	}
 }
 
-// progress updates a job's per-point counters.
+// progress updates a job's per-point counters. It is the single choke
+// point every commit path passes through — inline, durable and fleet
+// merge alike — which makes it the one true home of the committed-points
+// counter.
 func (s *Server) progress(id string, done, total int, fromCache bool) {
+	s.tel.pointsCommitted.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
@@ -394,13 +451,17 @@ func (s *Server) finish(id string, err error) {
 	switch {
 	case err == nil:
 		j.info.State = JobDone
+		s.tel.jobsDone.Inc()
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		j.info.State = JobCancelled
 		j.info.Error = err.Error()
+		s.tel.jobsCancelled.Inc()
 	default:
 		j.info.State = JobFailed
 		j.info.Error = err.Error()
+		s.tel.jobsFailed.Inc()
 	}
+	j.root.Attr("state", string(j.info.State)).End()
 }
 
 // Cancel cancels a running job. It reports whether the id was known.
@@ -466,8 +527,10 @@ func (s *Server) engine(progress func(done, total int, out core.PointOutcome)) *
 // global design-point indices — the sharded-fleet worker path.
 func (s *Server) execute(ctx context.Context, id, query string, trials int, points []int,
 	onPoint func(done, total int, out core.PointOutcome)) (*wtql.ResultSet, error) {
+	trace, root := s.jobTrace(id)
 	eng := s.engine(func(done, total int, out core.PointOutcome) {
 		s.progress(id, done, total, out.FromCache)
+		s.tel.observePoint(trace, root, out)
 		if onPoint != nil {
 			onPoint(done, total, out)
 		}
@@ -488,7 +551,7 @@ func (s *Server) execute(ctx context.Context, id, query string, trials int, poin
 // as the HTTP path does.
 func (s *Server) RunQuery(ctx context.Context, query string, trials int,
 	onPoint func(done, total int, out core.PointOutcome)) (string, *wtql.ResultSet, error) {
-	id, jctx, err := s.newJob(ctx, query, false)
+	id, jctx, err := s.newJob(ctx, query, false, traceCtx{})
 	if err != nil {
 		return "", nil, err
 	}

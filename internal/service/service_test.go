@@ -382,12 +382,12 @@ func TestJobRegistryBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One long-lived "running" job that must survive every eviction.
-	runningID, _, err := srv.newJob(context.Background(), "running", false)
+	runningID, _, err := srv.newJob(context.Background(), "running", false, traceCtx{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < maxRetainedJobs+200; i++ {
-		id, _, err := srv.newJob(context.Background(), "q", false)
+		id, _, err := srv.newJob(context.Background(), "q", false, traceCtx{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -453,7 +453,7 @@ func TestJobsNewestFirstWithinOneTick(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 5; i++ {
-		id, _, err := srv.newJob(context.Background(), "q", false)
+		id, _, err := srv.newJob(context.Background(), "q", false, traceCtx{})
 		if err != nil {
 			t.Fatal(err)
 		}
