@@ -3,46 +3,87 @@
 // series, label escaping, cumulative histogram buckets, parseable
 // values). It reads the exposition from a URL argument or stdin and
 // exits non-zero when the payload has problems — CI points it at every
-// fleet member's live /metrics scrape.
+// fleet member's live /metrics scrape and at the coordinator's
+// federated /v1/metrics/fleet view.
 //
 // Usage:
 //
 //	promlint http://localhost:8866/metrics
 //	curl -s http://localhost:8866/metrics | promlint
+//	promlint -watch 2s http://localhost:8866/v1/metrics/fleet
+//	promlint -watch 500ms -watch-rounds 10 http://localhost:8866/metrics
+//
+// -watch re-fetches and re-lints the URL on the given interval, exiting
+// 1 at the first failing scrape — a fleet whose exposition is only
+// sometimes valid is broken, and a single-shot lint can miss the racing
+// write that breaks it. -watch-rounds bounds the loop for CI; 0 watches
+// forever.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/obs"
 )
 
 func main() {
+	watch := flag.Duration("watch", 0, "re-lint the URL on this interval until a scrape fails (0 = lint once)")
+	rounds := flag.Int("watch-rounds", 0, "with -watch: stop clean after this many passing rounds (0 = forever)")
+	flag.Parse()
+
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: promlint [-watch interval [-watch-rounds n]] [url] (or exposition on stdin)")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+	if *watch > 0 && url == "" {
+		fmt.Fprintln(os.Stderr, "promlint: -watch needs a URL (stdin has no second scrape)")
+		os.Exit(2)
+	}
+
+	if *watch <= 0 {
+		os.Exit(lintOnce(url))
+	}
+	for n := 1; ; n++ {
+		if code := lintOnce(url); code != 0 {
+			fmt.Fprintf(os.Stderr, "promlint: %s failed on watch round %d\n", url, n)
+			os.Exit(code)
+		}
+		if *rounds > 0 && n >= *rounds {
+			fmt.Fprintf(os.Stderr, "promlint: %s clean for %d rounds\n", url, n)
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// lintOnce fetches (or reads stdin when url is empty) and lints one
+// exposition, reporting problems to stderr; the return is the exit code.
+func lintOnce(url string) int {
 	var data []byte
 	var err error
-	switch {
-	case len(os.Args) > 2:
-		fmt.Fprintln(os.Stderr, "usage: promlint [url] (or exposition on stdin)")
-		os.Exit(2)
-	case len(os.Args) == 2:
-		data, err = fetch(os.Args[1])
-	default:
+	if url != "" {
+		data, err = fetch(url)
+	} else {
 		data, err = io.ReadAll(os.Stdin)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "promlint:", err)
-		os.Exit(2)
+		return 2
 	}
 	problems := obs.Lint(data)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, "promlint:", p)
 	}
 	if len(problems) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func fetch(url string) ([]byte, error) {

@@ -21,15 +21,29 @@
 //	GET    /v1/stats      operational snapshot (build, runtime, pool, cache, jobs)
 //	GET    /metrics       Prometheus text exposition (disable with -telemetry=false)
 //	GET    /v1/jobs/{id}/trace  the job's distributed trace tree (fleet-merged on a coordinator)
+//	GET    /v1/metrics/fleet    merged fleet exposition from telemetry history (per-instance labels)
+//	GET    /v1/metrics/history  JSON range query over retained samples (?name=&window=)
+//	GET    /v1/alerts     alert rule instances (firing / pending / resolved)
 //
 // Observability: every serving path is instrumented into a zero-
 // dependency metrics registry scraped at /metrics, and every job records
 // a distributed trace (plan → shard → simulate/cache-hit → merge →
 // journal) that a coordinator propagates to workers via the X-WT-Trace
-// header. -telemetry=false turns all of it off; tables and NDJSON
-// streams are byte-identical either way. -pprof mounts net/http/pprof
-// (plus /metrics and /v1/stats) on a separate listener kept off the
-// serving port.
+// header. Every -history-interval (default 2s) the registry is sampled
+// into an in-process time-series history (bounded rings, -history-depth
+// samples per series); a coordinator additionally scrapes each worker's
+// /metrics into the same history labelled per instance, so
+// /v1/metrics/fleet serves one merged fleet view and /v1/metrics/history
+// serves range queries. An alert engine evaluates declarative SLO rules
+// (worker down, sustained queue depth, cache hit ratio collapse, slow
+// journal fsyncs, degraded jobs, failover bursts — extend or override
+// with -alerts rules.json) over that history on the same interval;
+// instances are served at /v1/alerts, transitions are logged to stderr,
+// and /v1/healthz carries the firing count. -telemetry=false turns all
+// of it off; tables and NDJSON streams are byte-identical either way.
+// -pprof mounts net/http/pprof (plus /metrics and /v1/stats) on a
+// separate listener kept off the serving port. cmd/wttop renders a live
+// terminal dashboard from these endpoints.
 //
 // Durability: by default every client-facing query is write-ahead
 // journaled under -journal (one fsync'd record per committed design
@@ -105,6 +119,9 @@ func main() {
 	storeInterval := flag.Duration("store-interval", time.Minute, "checkpoint the -store archive this often (0 = only on shutdown)")
 	telemetry := flag.Bool("telemetry", true, "metrics registry + /metrics exposition + distributed tracing")
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof (and /metrics, /v1/stats) on this separate address (empty = off)")
+	historyInterval := flag.Duration("history-interval", 0, "telemetry history sampling / fleet scrape / alert evaluation period (0 = 2s)")
+	historyDepth := flag.Int("history-depth", 0, "retained samples per history series (0 = 360: 12m at the default interval)")
+	alertsFile := flag.String("alerts", "", "JSON alert rules file merged over the built-in defaults (empty = defaults only)")
 	flag.Parse()
 
 	journalDir := *journal
@@ -127,6 +144,15 @@ func main() {
 		MaxShardRetries:   *shardRetries,
 		JournalDir:        journalDir,
 		NoTelemetry:       !*telemetry,
+		HistoryInterval:   *historyInterval,
+		HistoryDepth:      *historyDepth,
+	}
+	if *alertsFile != "" {
+		rules, err := service.LoadAlertRules(*alertsFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.AlertRules = rules
 	}
 	if *chaos != "" {
 		fcfg, err := service.ParseFaultConfig(*chaos)

@@ -190,9 +190,14 @@ func runRemote(ctx context.Context, servers []string, text string, trials int, p
 			if trace && s.jobID != "" {
 				base := strings.TrimRight(s.servers[s.jobSrv], "/")
 				tr, terr := fetchTrace(ctx, base, s.jobID)
-				if terr != nil {
+				switch {
+				case errors.Is(terr, errTraceEvicted):
+					// The table printed; the waterfall just aged out of the
+					// daemon's bounded trace ring. A notice, not a failure.
+					fmt.Fprintln(os.Stderr, "wtql: trace evicted: the daemon's trace buffer dropped this job's spans (raise its retention or fetch the trace sooner); the result table above is complete")
+				case terr != nil:
 					fmt.Fprintf(os.Stderr, "wtql: trace unavailable: %v\n", terr)
-				} else {
+				default:
 					renderTrace(os.Stderr, tr)
 				}
 			}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeDaemon mimics the windtunneld endpoints one -trace run touches: a
+// query stream that completes normally, and a trace endpoint whose
+// answer the test controls.
+func fakeDaemon(t *testing.T, traceStatus int, traceBody string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"type":"job","id":"j1"}`)
+		fmt.Fprintln(w, `{"type":"point","done":1,"total":1}`)
+		fmt.Fprintln(w, `{"type":"result","table":"nodes availability\n5 0.9\n","executed":1}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(traceStatus)
+		fmt.Fprintln(w, traceBody)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// captureStreams runs fn with stdout and stderr redirected to buffers.
+func captureStreams(t *testing.T, fn func()) (stdout, stderr string) {
+	t.Helper()
+	capture := func(f **os.File) func() string {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := *f
+		*f = w
+		done := make(chan string, 1)
+		go func() {
+			var b bytes.Buffer
+			b.ReadFrom(r)
+			done <- b.String()
+		}()
+		return func() string {
+			w.Close()
+			*f = orig
+			return <-done
+		}
+	}
+	outDone := capture(&os.Stdout)
+	errDone := capture(&os.Stderr)
+	fn()
+	return outDone(), errDone()
+}
+
+// TestTraceEvictedNotice: when the daemon reports the job's trace was
+// evicted from its bounded ring, wtql -trace prints the table, notes
+// the eviction on stderr, and still succeeds — the query result is
+// complete even though the waterfall is gone.
+func TestTraceEvictedNotice(t *testing.T) {
+	ts := fakeDaemon(t, http.StatusNotFound, `{"type":"error","error":"trace evicted"}`)
+	var err error
+	stdout, stderr := captureStreams(t, func() {
+		err = runRemote(context.Background(), []string{ts.URL}, "SIMULATE ...", 0, false, 0, true)
+	})
+	if err != nil {
+		t.Fatalf("evicted trace must not fail the run: %v", err)
+	}
+	if !strings.Contains(stdout, "nodes availability") {
+		t.Fatalf("result table missing from stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "trace evicted") {
+		t.Fatalf("stderr should carry the eviction notice: %q", stderr)
+	}
+	if strings.Contains(stderr, "trace unavailable") {
+		t.Fatalf("eviction should not read as a generic failure: %q", stderr)
+	}
+}
+
+// TestTraceRendersWhenPresent: the happy path still draws the waterfall.
+func TestTraceRendersWhenPresent(t *testing.T) {
+	tr := traceResponse{Job: "j1", TraceID: "abc", Spans: []traceSpan{{
+		SpanID: "s1", Name: "job", Worker: "w1",
+		Start: time.Unix(1700000000, 0), Duration: time.Second,
+	}}}
+	body, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := fakeDaemon(t, http.StatusOK, string(body))
+	stdout, stderr := captureStreams(t, func() {
+		err = runRemote(context.Background(), []string{ts.URL}, "SIMULATE ...", 0, false, 0, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "nodes availability") {
+		t.Fatalf("result table missing: %q", stdout)
+	}
+	if !strings.Contains(stderr, "trace abc for j1") {
+		t.Fatalf("waterfall missing from stderr: %q", stderr)
+	}
+}
+
+// TestTraceOtherErrorsStayGeneric: a non-eviction trace failure (daemon
+// restarted without the job, proxy error) reports as unavailable but
+// still does not fail the run.
+func TestTraceOtherErrorsStayGeneric(t *testing.T) {
+	ts := fakeDaemon(t, http.StatusNotFound, `{"type":"error","error":"no such job"}`)
+	var err error
+	_, stderr := captureStreams(t, func() {
+		err = runRemote(context.Background(), []string{ts.URL}, "SIMULATE ...", 0, false, 0, true)
+	})
+	if err != nil {
+		t.Fatalf("trace failure must not fail the run: %v", err)
+	}
+	if !strings.Contains(stderr, "trace unavailable") || !strings.Contains(stderr, "no such job") {
+		t.Fatalf("generic trace failure should say why: %q", stderr)
+	}
+}

@@ -36,8 +36,15 @@ type traceResponse struct {
 	Spans   []traceSpan `json:"spans"`
 }
 
+// errTraceEvicted marks the daemon's answer when the job finished but
+// its spans aged out of the bounded trace ring before we asked — a
+// successful run whose waterfall is simply gone, not a failure.
+var errTraceEvicted = fmt.Errorf("trace evicted")
+
 // fetchTrace retrieves a job's merged trace tree from the server that
-// ran it.
+// ran it. A 404 whose body says the trace was evicted maps to
+// errTraceEvicted so the caller can degrade with a clear notice instead
+// of a generic HTTP error.
 func fetchTrace(ctx context.Context, base, jobID string) (*traceResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, "GET",
 		fmt.Sprintf("%s/v1/jobs/%s/trace", base, jobID), nil)
@@ -50,7 +57,11 @@ func fetchTrace(ctx context.Context, base, jobID string) (*traceResponse, error)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError(resp)
+		herr := httpError(resp)
+		if resp.StatusCode == http.StatusNotFound && strings.Contains(herr.Error(), "trace evicted") {
+			return nil, errTraceEvicted
+		}
+		return nil, herr
 	}
 	var tr traceResponse
 	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {

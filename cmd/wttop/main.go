@@ -1,0 +1,503 @@
+// Command wttop is a live terminal dashboard over a windtunneld
+// coordinator — `top` for the wind tunnel fleet. It polls the
+// observability API (/v1/fleet, /v1/alerts, /v1/jobs and the
+// /v1/metrics/history ranges the telemetry history records) and redraws
+// an ANSI screen each interval: fleet membership with health state,
+// queue-depth / points-per-second / cache-hit-ratio sparklines, the
+// most recent jobs, and any firing or pending alerts.
+//
+// Usage:
+//
+//	wttop -server http://localhost:8866
+//	wttop -server http://localhost:8866 -interval 1s -window 10m
+//	wttop -once          # one plain snapshot to stdout (CI smoke tests)
+//
+// -once renders a single frame without ANSI control sequences and exits
+// non-zero if the coordinator is unreachable, so a smoke test can both
+// grep the output and trust the exit code.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8866", "windtunneld coordinator base URL")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	window := flag.Duration("window", 5*time.Minute, "history window behind the sparklines")
+	once := flag.Bool("once", false, "render one plain snapshot and exit (no ANSI)")
+	flag.Parse()
+
+	c := &client{
+		base: strings.TrimRight(*server, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Second},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		snap := c.fetch(ctx, *window)
+		render(os.Stdout, snap)
+		if snap.err != nil {
+			fmt.Fprintln(os.Stderr, "wttop:", snap.err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Live mode: alternate-screen + hidden cursor, restored on exit so a
+	// ^C leaves the terminal usable.
+	fmt.Print("\x1b[?1049h\x1b[?25l")
+	defer fmt.Print("\x1b[?25h\x1b[?1049l")
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		snap := c.fetch(ctx, *window)
+		var b strings.Builder
+		b.WriteString("\x1b[H\x1b[2J")
+		render(&b, snap)
+		os.Stdout.WriteString(b.String())
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// The types below mirror the daemon's JSON, decoded with the subset of
+// fields the dashboard draws.
+
+type fleetResponse struct {
+	Mode    string   `json:"mode"`
+	Self    string   `json:"self"`
+	Members []member `json:"members"`
+}
+
+type member struct {
+	URL       string `json:"url"`
+	State     string `json:"state"`
+	Draining  bool   `json:"draining"`
+	Failures  int    `json:"consecutive_failures"`
+	LastError string `json:"last_error"`
+}
+
+type alertsResponse struct {
+	Firing  int     `json:"firing"`
+	Pending int     `json:"pending"`
+	Alerts  []alert `json:"alerts"`
+}
+
+type alert struct {
+	Rule     string    `json:"rule"`
+	Severity string    `json:"severity"`
+	Labels   string    `json:"labels"`
+	State    string    `json:"state"`
+	Value    float64   `json:"value"`
+	Since    time.Time `json:"since"`
+}
+
+type job struct {
+	ID        string    `json:"id"`
+	Query     string    `json:"query"`
+	State     string    `json:"state"`
+	Created   time.Time `json:"created"`
+	Done      int       `json:"done"`
+	Total     int       `json:"total"`
+	CacheHits int       `json:"cache_hits"`
+	Degraded  bool      `json:"degraded"`
+}
+
+type histPoint struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+type histSeries struct {
+	Labels string      `json:"labels"`
+	Points []histPoint `json:"points"`
+}
+
+type historyResponse struct {
+	Series []histSeries `json:"series"`
+}
+
+// snapshot is one fetched frame; partial failures leave sections nil
+// and the first error recorded, so the dashboard degrades instead of
+// blanking when one endpoint hiccups.
+type snapshot struct {
+	at     time.Time
+	server string
+	window time.Duration
+
+	fleet   *fleetResponse
+	alerts  *alertsResponse
+	jobs    []job
+	queue   []float64 // merged wt_pool_queue_depth over the window
+	pointsS []float64 // fleet points/sec derived from wt_points_committed_total
+	hitPct  []float64 // cache hit % per history step
+	err     error
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) getJSON(ctx context.Context, path string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func (c *client) history(ctx context.Context, name string, window time.Duration) ([]histSeries, error) {
+	var hr historyResponse
+	path := "/v1/metrics/history?name=" + url.QueryEscape(name) +
+		"&window=" + url.QueryEscape(window.String())
+	if err := c.getJSON(ctx, path, &hr); err != nil {
+		return nil, err
+	}
+	return hr.Series, nil
+}
+
+func (c *client) fetch(ctx context.Context, window time.Duration) snapshot {
+	snap := snapshot{at: time.Now(), server: c.base, window: window}
+	keep := func(err error) {
+		if err != nil && snap.err == nil {
+			snap.err = err
+		}
+	}
+
+	var fleet fleetResponse
+	if err := c.getJSON(ctx, "/v1/fleet", &fleet); err != nil {
+		keep(err)
+	} else {
+		snap.fleet = &fleet
+	}
+	var alerts alertsResponse
+	if err := c.getJSON(ctx, "/v1/alerts", &alerts); err != nil {
+		keep(err)
+	} else {
+		snap.alerts = &alerts
+	}
+	keep(c.getJSON(ctx, "/v1/jobs", &snap.jobs))
+
+	if qs, err := c.history(ctx, "wt_pool_queue_depth", window); err != nil {
+		keep(err)
+	} else {
+		snap.queue = mergeGauge(qs)
+	}
+	if ps, err := c.history(ctx, "wt_points_committed_total", window); err != nil {
+		keep(err)
+	} else {
+		snap.pointsS = mergeRate(ps)
+	}
+	hits, err1 := c.history(ctx, "wt_cache_hits_total", window)
+	disk, err2 := c.history(ctx, "wt_cache_disk_hits_total", window)
+	miss, err3 := c.history(ctx, "wt_cache_misses_total", window)
+	if err1 == nil && err2 == nil && err3 == nil {
+		snap.hitPct = hitRatio(append(mergeRateSeries(hits), mergeRateSeries(disk)...), mergeRateSeries(miss))
+	} else {
+		keep(err1)
+		keep(err2)
+		keep(err3)
+	}
+	return snap
+}
+
+// mergeGauge sums a metric's series point-by-point, aligning from the
+// newest sample backwards — instances sample on the same cadence, so
+// index alignment from the tail is a faithful fleet total.
+func mergeGauge(series []histSeries) []float64 {
+	depth := 0
+	for _, s := range series {
+		if len(s.Points) > depth {
+			depth = len(s.Points)
+		}
+	}
+	out := make([]float64, depth)
+	for _, s := range series {
+		off := depth - len(s.Points)
+		for i, p := range s.Points {
+			out[off+i] += p.V
+		}
+	}
+	return out
+}
+
+// perSecond turns one counter series into per-second rates between
+// consecutive samples; a counter reset contributes the post-reset value.
+func perSecond(points []histPoint) []float64 {
+	if len(points) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		d := points[i].V - points[i-1].V
+		if d < 0 {
+			d = points[i].V
+		}
+		dt := points[i].T.Sub(points[i-1].T).Seconds()
+		if dt <= 0 {
+			dt = 1
+		}
+		out = append(out, d/dt)
+	}
+	return out
+}
+
+// mergeRateSeries converts every series to per-second rates, keeping
+// them separate (for ratio math); mergeRate also sums across series.
+func mergeRateSeries(series []histSeries) [][]float64 {
+	out := make([][]float64, 0, len(series))
+	for _, s := range series {
+		if r := perSecond(s.Points); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func mergeRate(series []histSeries) []float64 {
+	return sumAligned(mergeRateSeries(series))
+}
+
+func sumAligned(rates [][]float64) []float64 {
+	depth := 0
+	for _, r := range rates {
+		if len(r) > depth {
+			depth = len(r)
+		}
+	}
+	out := make([]float64, depth)
+	for _, r := range rates {
+		off := depth - len(r)
+		for i, v := range r {
+			out[off+i] += v
+		}
+	}
+	return out
+}
+
+// hitRatio computes per-step cache hit percentages from the hit-rate
+// and miss-rate series; steps with no traffic carry NaN and draw blank.
+func hitRatio(hitRates, missRates [][]float64) []float64 {
+	hits, misses := sumAligned(hitRates), sumAligned(missRates)
+	depth := len(hits)
+	if len(misses) > depth {
+		depth = len(misses)
+	}
+	out := make([]float64, depth)
+	for i := range out {
+		var h, m float64
+		if j := i - (depth - len(hits)); j >= 0 && j < len(hits) {
+			h = hits[j]
+		}
+		if j := i - (depth - len(misses)); j >= 0 && j < len(misses) {
+			m = misses[j]
+		}
+		if h+m <= 0 {
+			out[i] = -1 // no traffic this step
+			continue
+		}
+		out[i] = 100 * h / (h + m)
+	}
+	return out
+}
+
+// sparkTicks are the eight block glyphs a sparkline draws with.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+const sparkWidth = 40
+
+// sparkline renders vals scaled 0..max into block glyphs, newest at the
+// right edge; negative values (no-data steps) draw as spaces.
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width-len(vals); i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vals {
+		switch {
+		case v < 0:
+			b.WriteByte(' ')
+		case max <= 0:
+			b.WriteRune(sparkTicks[0])
+		default:
+			idx := int(v / max * float64(len(sparkTicks)-1))
+			b.WriteRune(sparkTicks[idx])
+		}
+	}
+	return b.String()
+}
+
+// last returns the newest value of a merged series, skipping no-data
+// steps; ok is false when the series is empty.
+func last(vals []float64) (float64, bool) {
+	for i := len(vals) - 1; i >= 0; i-- {
+		if vals[i] >= 0 {
+			return vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// maxVisibleJobs bounds the jobs table to roughly one screen.
+const maxVisibleJobs = 8
+
+func render(w io.Writer, snap snapshot) {
+	fmt.Fprintf(w, "wttop — %s — %s", snap.server, snap.at.Format(time.RFC3339))
+	if snap.fleet != nil {
+		fmt.Fprintf(w, "  (mode: %s)", snap.fleet.Mode)
+	}
+	fmt.Fprintln(w)
+	if snap.err != nil {
+		fmt.Fprintf(w, "!! %v\n", snap.err)
+	}
+	fmt.Fprintln(w)
+
+	renderFleet(w, snap.fleet)
+	renderSparks(w, snap)
+	renderJobs(w, snap.jobs)
+	renderAlerts(w, snap.alerts)
+}
+
+func renderFleet(w io.Writer, fleet *fleetResponse) {
+	if fleet == nil {
+		fmt.Fprintln(w, "FLEET unavailable")
+		fmt.Fprintln(w)
+		return
+	}
+	members := fleet.Members
+	if len(members) == 0 && fleet.Self != "" {
+		// A single-node daemon monitors no one; show it as itself.
+		members = []member{{URL: fleet.Self, State: "up"}}
+	}
+	fmt.Fprintf(w, "FLEET  %d members\n", len(members))
+	fmt.Fprintf(w, "  %-36s %-8s %s\n", "MEMBER", "STATE", "NOTE")
+	sort.Slice(members, func(i, j int) bool { return members[i].URL < members[j].URL })
+	for _, m := range members {
+		note := ""
+		switch {
+		case m.Draining:
+			note = "draining"
+		case m.LastError != "":
+			note = fmt.Sprintf("%d failures: %s", m.Failures, m.LastError)
+		}
+		fmt.Fprintf(w, "  %-36s %-8s %s\n", clip(m.URL, 36), m.State, clip(note, 48))
+	}
+	fmt.Fprintln(w)
+}
+
+func renderSparks(w io.Writer, snap snapshot) {
+	row := func(name string, vals []float64, unit string) {
+		cur := "–"
+		if v, ok := last(vals); ok {
+			cur = fmt.Sprintf("%.1f%s", v, unit)
+		}
+		fmt.Fprintf(w, "  %-14s %s %s\n", name, sparkline(vals, sparkWidth), cur)
+	}
+	fmt.Fprintf(w, "METRICS  (last %s)\n", snap.window)
+	row("queue depth", snap.queue, "")
+	row("points/sec", snap.pointsS, "")
+	row("cache hit", snap.hitPct, "%")
+	fmt.Fprintln(w)
+}
+
+func renderJobs(w io.Writer, jobs []job) {
+	active := 0
+	for _, j := range jobs {
+		if j.State == "running" || j.State == "queued" {
+			active++
+		}
+	}
+	fmt.Fprintf(w, "JOBS  %d active / %d known\n", active, len(jobs))
+	if len(jobs) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "  %-10s %-9s %-14s %-6s %s\n", "ID", "STATE", "PROGRESS", "CACHED", "QUERY")
+	shown := jobs
+	if len(shown) > maxVisibleJobs {
+		shown = shown[:maxVisibleJobs]
+	}
+	for _, j := range shown {
+		progress := fmt.Sprintf("%d/%d", j.Done, j.Total)
+		if j.Total > 0 {
+			progress += fmt.Sprintf(" (%d%%)", 100*j.Done/j.Total)
+		}
+		state := j.State
+		if j.Degraded {
+			state += "!"
+		}
+		fmt.Fprintf(w, "  %-10s %-9s %-14s %-6d %s\n",
+			clip(j.ID, 10), state, progress, j.CacheHits, clip(oneLine(j.Query), 60))
+	}
+	if len(jobs) > maxVisibleJobs {
+		fmt.Fprintf(w, "  … %d more\n", len(jobs)-maxVisibleJobs)
+	}
+	fmt.Fprintln(w)
+}
+
+func renderAlerts(w io.Writer, alerts *alertsResponse) {
+	if alerts == nil {
+		fmt.Fprintln(w, "ALERTS unavailable")
+		return
+	}
+	fmt.Fprintf(w, "ALERTS  %d firing, %d pending\n", alerts.Firing, alerts.Pending)
+	for _, a := range alerts.Alerts {
+		if a.State == "resolved" {
+			continue
+		}
+		age := time.Since(a.Since).Round(time.Second)
+		fmt.Fprintf(w, "  %-8s %-24s %-8s %s  value=%.3g  for %s\n",
+			strings.ToUpper(a.State), a.Rule, a.Severity, a.Labels, a.Value, age)
+	}
+}
+
+// oneLine collapses a query's internal whitespace for the jobs table.
+func oneLine(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// clip truncates a label to n runes with an ellipsis.
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}

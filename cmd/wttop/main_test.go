@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestSnapshotAgainstLiveFleet drives the dashboard's fetch+render path
+// against a real coordinator+worker fleet — the same path `wttop -once`
+// takes in the CI smoke test.
+func TestSnapshotAgainstLiveFleet(t *testing.T) {
+	wts := httptest.NewServer(http.NotFoundHandler())
+	defer wts.Close()
+	worker, err := service.New(service.Config{PoolSize: 2, Self: wts.URL, HistoryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	wts.Config.Handler = worker.Handler()
+
+	coord, err := service.New(service.Config{Coordinator: true, Peers: []string{wts.URL}, HistoryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	// One finished job so the JOBS table has a row.
+	body := strings.NewReader(`{"query": "SIMULATE availability VARY cluster.nodes IN (5,6) WITH users = 10, object_mb = 10, trials = 1, horizon_hours = 100 WHERE sla.availability >= 0.2"}`)
+	resp, err := http.Post(cts.URL+"/v1/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(stream), `"result"`) {
+		t.Fatalf("query did not complete: %v\n%s", err, stream)
+	}
+
+	c := &client{base: cts.URL, hc: http.DefaultClient}
+	deadline := time.Now().Add(5 * time.Second)
+	var snap snapshot
+	for {
+		snap = c.fetch(context.Background(), time.Minute)
+		if snap.err == nil && snap.fleet != nil && len(snap.queue) > 1 && len(snap.jobs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no full snapshot before deadline: err=%v fleet=%v queue=%d jobs=%d",
+				snap.err, snap.fleet, len(snap.queue), len(snap.jobs))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var out bytes.Buffer
+	render(&out, snap)
+	text := out.String()
+
+	if !strings.Contains(text, "FLEET  1 members") || !strings.Contains(text, wts.URL) {
+		t.Fatalf("fleet table missing the worker row:\n%s", text)
+	}
+	if !strings.Contains(text, "up") {
+		t.Fatalf("worker not shown up:\n%s", text)
+	}
+	if !strings.Contains(text, "queue depth") || !strings.Contains(text, "points/sec") || !strings.Contains(text, "cache hit") {
+		t.Fatalf("sparkline rows missing:\n%s", text)
+	}
+	if !strings.Contains(text, "JOBS  ") || !strings.Contains(text, "SIMULATE availability") {
+		t.Fatalf("jobs table missing the submitted job:\n%s", text)
+	}
+	if !strings.Contains(text, "ALERTS  0 firing, 0 pending") {
+		t.Fatalf("healthy fleet should report no alerts:\n%s", text)
+	}
+	if strings.Contains(text, "!!") {
+		t.Fatalf("healthy snapshot rendered an error banner:\n%s", text)
+	}
+}
+
+// TestSnapshotUnreachableServer: fetch records the failure and render
+// degrades to the error banner instead of crashing — `-once` turns that
+// into a non-zero exit.
+func TestSnapshotUnreachableServer(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // now refuses connections
+	c := &client{base: ts.URL, hc: &http.Client{Timeout: 200 * time.Millisecond}}
+	snap := c.fetch(context.Background(), time.Minute)
+	if snap.err == nil {
+		t.Fatal("unreachable server produced no error")
+	}
+	var out bytes.Buffer
+	render(&out, snap)
+	if !strings.Contains(out.String(), "!!") || !strings.Contains(out.String(), "FLEET unavailable") {
+		t.Fatalf("error snapshot should render degraded sections:\n%s", out.String())
+	}
+}
+
+func TestMergeGaugeAlignsFromTail(t *testing.T) {
+	at := func(i int) time.Time { return time.Unix(int64(i), 0) }
+	got := mergeGauge([]histSeries{
+		{Points: []histPoint{{at(1), 1}, {at(2), 2}, {at(3), 3}}},
+		{Points: []histPoint{{at(2), 10}, {at(3), 20}}},
+	})
+	want := []float64{1, 12, 23}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPerSecondHandlesResets(t *testing.T) {
+	at := func(i int) time.Time { return time.Unix(int64(i), 0) }
+	got := perSecond([]histPoint{{at(0), 10}, {at(2), 14}, {at(4), 2}})
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("rates %v, want [2 1] (reset contributes post-reset value)", got)
+	}
+	if perSecond([]histPoint{{at(0), 1}}) != nil {
+		t.Fatal("single point has no rate")
+	}
+}
+
+func TestHitRatioNoTraffic(t *testing.T) {
+	pct := hitRatio([][]float64{{0, 3}}, [][]float64{{0, 1}})
+	if pct[0] != -1 {
+		t.Fatalf("idle step should be marked no-data, got %v", pct[0])
+	}
+	if pct[1] != 75 {
+		t.Fatalf("hit ratio %v, want 75", pct[1])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 4}, 6)
+	runes := []rune(s)
+	if len(runes) != 6 {
+		t.Fatalf("sparkline %q not padded to width", s)
+	}
+	if runes[0] != ' ' || runes[1] != ' ' {
+		t.Fatalf("sparkline %q should left-pad short histories", s)
+	}
+	if runes[5] != '█' || runes[2] != '▁' {
+		t.Fatalf("sparkline %q should scale 0..max", s)
+	}
+	// No-data steps draw blank, flat series draw the floor glyph.
+	if got := sparkline([]float64{-1, 5, 5}, 3); []rune(got)[0] != ' ' {
+		t.Fatalf("no-data step should be blank: %q", got)
+	}
+	if got := sparkline([]float64{0, 0}, 2); got != "▁▁" {
+		t.Fatalf("flat zero series should draw the floor: %q", got)
+	}
+}

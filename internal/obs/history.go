@@ -1,0 +1,545 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the retention half of the observability layer: a
+// zero-dependency in-process time-series store. A Sampler snapshots
+// every registry instrument on a fixed interval into bounded per-series
+// ring buffers; a coordinator additionally ingests parsed /metrics
+// scrapes from its fleet members (parse.go), labelled per instance, so
+// one History holds the whole fleet's recent past. On top of the rings
+// sit the query primitives the alert engine and the range endpoint
+// need — Range, Latest, Increase, Rate, QuantileOver — plus
+// WriteLatestPrometheus, which renders the merged latest view back out
+// in exposition format (the federation endpoint's body).
+
+// SeriesSample is one exposition sample inside a family snapshot: for
+// plain counters/gauges Suffix is empty; histograms expand into
+// "_bucket" (with an le label), "_sum" and "_count" samples exactly as
+// the text exposition does.
+type SeriesSample struct {
+	Suffix string
+	Labels [][2]string
+	Value  float64
+}
+
+// FamilySnapshot is one metric family's point-in-time state: its
+// exposition metadata plus every series' current value.
+type FamilySnapshot struct {
+	Name    string
+	Help    string
+	Type    string // "counter" | "gauge" | "histogram" | "untyped"
+	Samples []SeriesSample
+}
+
+// Snapshot captures every registered family's current values — the
+// sampler's input, structurally identical to what ParseExposition
+// recovers from a remote scrape. Histogram buckets are cumulative and
+// the _count sample equals the +Inf bucket (same one-pass discipline as
+// WritePrometheus), so a snapshot always lints clean when re-rendered.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, 0, len(names))
+	series := make([][]*instrument, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		fams = append(fams, f)
+		series = append(series, append([]*instrument(nil), f.series...))
+	}
+	r.mu.Unlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for i, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		for _, ins := range series[i] {
+			switch {
+			case ins.fn != nil:
+				fs.Samples = append(fs.Samples, SeriesSample{Labels: ins.pairs, Value: ins.fn()})
+			case ins.c != nil:
+				fs.Samples = append(fs.Samples, SeriesSample{Labels: ins.pairs, Value: float64(ins.c.Value())})
+			case ins.g != nil:
+				fs.Samples = append(fs.Samples, SeriesSample{Labels: ins.pairs, Value: float64(ins.g.Value())})
+			case ins.h != nil:
+				h := ins.h
+				var cum uint64
+				for bi, ub := range h.bounds {
+					cum += h.counts[bi].Load()
+					fs.Samples = append(fs.Samples, SeriesSample{
+						Suffix: "_bucket",
+						Labels: append(append([][2]string(nil), ins.pairs...), [2]string{"le", formatFloat(ub)}),
+						Value:  float64(cum),
+					})
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fs.Samples = append(fs.Samples,
+					SeriesSample{
+						Suffix: "_bucket",
+						Labels: append(append([][2]string(nil), ins.pairs...), [2]string{"le", "+Inf"}),
+						Value:  float64(cum),
+					},
+					SeriesSample{Suffix: "_sum", Labels: ins.pairs, Value: h.Sum()},
+					SeriesSample{Suffix: "_count", Labels: ins.pairs, Value: float64(cum)},
+				)
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// HistPoint is one retained sample of one series.
+type HistPoint struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// histSeries is one series' bounded ring. Samples are appended in
+// ingest order (monotone per source); once the ring is full the oldest
+// sample is overwritten.
+type histSeries struct {
+	suffix string
+	labels [][2]string // sorted by key
+	ring   []HistPoint
+	next   int
+	full   bool
+}
+
+// points returns the ring's samples oldest-first.
+func (s *histSeries) points() []HistPoint {
+	if !s.full {
+		return s.ring[:s.next]
+	}
+	out := make([]HistPoint, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+func (s *histSeries) append(depth int, p HistPoint) {
+	if len(s.ring) < depth {
+		s.ring = append(s.ring, p)
+		s.next = len(s.ring) % depth
+		s.full = len(s.ring) == depth
+		return
+	}
+	s.ring[s.next] = p
+	s.next = (s.next + 1) % len(s.ring)
+	s.full = true
+}
+
+// histFamily groups one metric name's retained series with its
+// exposition metadata.
+type histFamily struct {
+	name, help, typ string
+	series          map[string]*histSeries // key: suffix + canonical labels
+	order           []string               // sorted keys
+}
+
+// DefaultHistoryDepth bounds each series' ring when the caller passes
+// zero: 360 samples = 12 minutes at the default 2 s interval.
+const DefaultHistoryDepth = 360
+
+// History is the in-process time-series store. All methods are safe
+// for concurrent use; a nil *History ignores ingests and answers every
+// query empty.
+type History struct {
+	mu    sync.Mutex
+	depth int
+	fams  map[string]*histFamily
+	names []string // sorted family names
+}
+
+// NewHistory builds a store retaining up to depth samples per series
+// (<= 0 = DefaultHistoryDepth).
+func NewHistory(depth int) *History {
+	if depth <= 0 {
+		depth = DefaultHistoryDepth
+	}
+	return &History{depth: depth, fams: make(map[string]*histFamily)}
+}
+
+// Depth returns the per-series ring capacity.
+func (h *History) Depth() int {
+	if h == nil {
+		return 0
+	}
+	return h.depth
+}
+
+// Ingest appends one snapshot generation — a local Registry.Snapshot or
+// a parsed remote scrape — at time t. instance, when non-empty, is
+// added as an `instance` label on every series, so one History can hold
+// many processes' samples side by side. The whole generation lands
+// under one lock acquisition: readers never observe half an ingest,
+// which keeps histogram bucket/count pairs consistent per scrape.
+func (h *History) Ingest(fams []FamilySnapshot, instance string, t time.Time) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, f := range fams {
+		hf := h.fams[f.Name]
+		if hf == nil {
+			hf = &histFamily{name: f.Name, help: f.Help, typ: f.Type, series: make(map[string]*histSeries)}
+			h.fams[f.Name] = hf
+			h.names = append(h.names, f.Name)
+			sort.Strings(h.names)
+		}
+		for _, s := range f.Samples {
+			labels := s.Labels
+			if instance != "" && labelIndex(labels, "instance") < 0 {
+				labels = append(append([][2]string(nil), labels...), [2]string{"instance", instance})
+			}
+			key := s.Suffix + canonicalLabels(labels)
+			hs := hf.series[key]
+			if hs == nil {
+				sorted := append([][2]string(nil), labels...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+				hs = &histSeries{suffix: s.Suffix, labels: sorted}
+				hf.series[key] = hs
+				hf.order = append(hf.order, key)
+				sort.Strings(hf.order)
+			}
+			hs.append(h.depth, HistPoint{T: t, V: s.Value})
+		}
+	}
+}
+
+func labelIndex(labels [][2]string, key string) int {
+	for i, kv := range labels {
+		if kv[0] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// findSeries resolves a sample name — a plain family name, or a
+// histogram expansion like wt_journal_fsync_seconds_count — to its
+// retained series. Caller holds h.mu.
+func (h *History) findSeries(name string) []*histSeries {
+	want := ""
+	hf := h.fams[name]
+	if hf == nil {
+		base, kind := histogramBase(name)
+		if kind == "" {
+			return nil
+		}
+		if hf = h.fams[base]; hf == nil || hf.typ != "histogram" {
+			return nil
+		}
+		want = "_" + kind
+	}
+	var out []*histSeries
+	for _, key := range hf.order {
+		if s := hf.series[key]; s.suffix == want {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SeriesRange is one series' retained samples within a query window.
+type SeriesRange struct {
+	Labels string      `json:"labels"`
+	Points []HistPoint `json:"points"`
+}
+
+// Range returns every matching series' samples within [now-window, now],
+// oldest first. name may be a family name or a histogram expansion
+// (_bucket/_sum/_count); an unknown name returns nil.
+func (h *History) Range(name string, window time.Duration, now time.Time) []SeriesRange {
+	if h == nil {
+		return nil
+	}
+	cut := now.Add(-window)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []SeriesRange
+	for _, s := range h.findSeries(name) {
+		pts := s.points()
+		i := 0
+		for i < len(pts) && pts[i].T.Before(cut) {
+			i++
+		}
+		if i == len(pts) {
+			continue
+		}
+		out = append(out, SeriesRange{
+			Labels: canonicalLabels(s.labels),
+			Points: append([]HistPoint(nil), pts[i:]...),
+		})
+	}
+	return out
+}
+
+// SeriesValue is one series' latest retained sample.
+type SeriesValue struct {
+	Labels string    `json:"labels"`
+	T      time.Time `json:"t"`
+	V      float64   `json:"v"`
+}
+
+// Latest returns every matching series' newest sample.
+func (h *History) Latest(name string) []SeriesValue {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []SeriesValue
+	for _, s := range h.findSeries(name) {
+		pts := s.points()
+		if len(pts) == 0 {
+			continue
+		}
+		last := pts[len(pts)-1]
+		out = append(out, SeriesValue{Labels: canonicalLabels(s.labels), T: last.T, V: last.V})
+	}
+	return out
+}
+
+// SeriesDelta is a counter series' growth over a window.
+type SeriesDelta struct {
+	Labels  string        `json:"labels"`
+	Delta   float64       `json:"delta"`
+	Elapsed time.Duration `json:"elapsed"`
+	Samples int           `json:"samples"`
+}
+
+// PerSec returns the delta as a per-second rate (0 when the window
+// holds fewer than two samples).
+func (d SeriesDelta) PerSec() float64 {
+	if d.Elapsed <= 0 {
+		return 0
+	}
+	return d.Delta / d.Elapsed.Seconds()
+}
+
+// Increase computes each matching counter series' growth over
+// [now-window, now], reset-aware: a sample below its predecessor (the
+// process restarted and the counter started over) contributes its full
+// value, the Prometheus convention, so rates survive a worker bounce
+// without going negative. Series with fewer than two samples in the
+// window are omitted.
+func (h *History) Increase(name string, window time.Duration, now time.Time) []SeriesDelta {
+	var out []SeriesDelta
+	for _, r := range h.Range(name, window, now) {
+		if len(r.Points) < 2 {
+			continue
+		}
+		var inc float64
+		for i := 1; i < len(r.Points); i++ {
+			if d := r.Points[i].V - r.Points[i-1].V; d >= 0 {
+				inc += d
+			} else {
+				inc += r.Points[i].V
+			}
+		}
+		out = append(out, SeriesDelta{
+			Labels:  r.Labels,
+			Delta:   inc,
+			Elapsed: r.Points[len(r.Points)-1].T.Sub(r.Points[0].T),
+			Samples: len(r.Points),
+		})
+	}
+	return out
+}
+
+// QuantileOver estimates the q-quantile (0 < q < 1) of a histogram
+// family's observations that landed within [now-window, now], per
+// series (grouped by non-le labels): the per-bucket increase over the
+// window forms the distribution, interpolated linearly inside the
+// bucket that crosses the target rank — histogram_quantile's method.
+// Series whose window saw no observations are omitted; a quantile
+// landing in the +Inf bucket reports the highest finite bound.
+func (h *History) QuantileOver(name string, q float64, window time.Duration, now time.Time) []SeriesValue {
+	type bucket struct {
+		le  float64
+		inf bool
+		inc float64
+	}
+	groups := make(map[string][]bucket)
+	var order []string
+	for _, d := range h.Increase(name+"_bucket", window, now) {
+		le, rest := splitLE(d.Labels)
+		if le == "" {
+			continue
+		}
+		b := bucket{inc: d.Delta}
+		if le == "+Inf" {
+			b.inf = true
+		} else if f, err := strconv.ParseFloat(le, 64); err == nil {
+			b.le = f
+		} else {
+			continue
+		}
+		if _, seen := groups[rest]; !seen {
+			order = append(order, rest)
+		}
+		groups[rest] = append(groups[rest], b)
+	}
+	var out []SeriesValue
+	for _, labels := range order {
+		bs := groups[labels]
+		sort.Slice(bs, func(i, j int) bool {
+			if bs[i].inf != bs[j].inf {
+				return bs[j].inf
+			}
+			return bs[i].le < bs[j].le
+		})
+		if len(bs) == 0 || !bs[len(bs)-1].inf {
+			continue
+		}
+		total := bs[len(bs)-1].inc
+		if total <= 0 {
+			continue
+		}
+		target := q * total
+		prevLE, prevCum := 0.0, 0.0
+		v := bs[len(bs)-1].le
+		for _, b := range bs {
+			if b.inc >= target {
+				if b.inf {
+					// The quantile is past every finite bound; the highest
+					// finite bucket edge is the best honest answer.
+					v = prevLE
+					break
+				}
+				span := b.inc - prevCum
+				if span > 0 {
+					v = prevLE + (b.le-prevLE)*(target-prevCum)/span
+				} else {
+					v = b.le
+				}
+				break
+			}
+			prevLE, prevCum = b.le, b.inc
+			if !b.inf {
+				v = b.le
+			}
+		}
+		out = append(out, SeriesValue{Labels: labels, T: now, V: v})
+	}
+	return out
+}
+
+// splitLE extracts the le label from a canonical label suffix and
+// returns (le value, the suffix without le).
+func splitLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	// Borrow the exposition tokenizer by dressing the label suffix back
+	// up as a sample line.
+	_, pairs, _, err := parseSample("x" + labels + " 0")
+	if err != nil {
+		return "", labels
+	}
+	v, ok := labelValue(pairs, "le")
+	if !ok {
+		return "", labels
+	}
+	return v, canonicalLabels(dropLabel(pairs, "le"))
+}
+
+// FamilyNames lists every retained family, sorted.
+func (h *History) FamilyNames() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.names...)
+}
+
+// WriteLatestPrometheus renders every retained series' newest sample in
+// exposition format — the federated fleet view. Families are sorted by
+// name with one HELP/TYPE line each; series sort by their canonical
+// key, so the output is deterministic and lint-clean (each instance's
+// histogram bucket/count samples come from one atomic ingest, so the
+// cumulative invariants hold).
+func (h *History) WriteLatestPrometheus(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	var b strings.Builder
+	for _, name := range h.names {
+		hf := h.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", hf.name, escapeHelp(hf.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", hf.name, hf.typ)
+		for _, key := range hf.order {
+			s := hf.series[key]
+			pts := s.points()
+			if len(pts) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s%s %s\n", hf.name, s.suffix,
+				canonicalLabels(s.labels), formatFloat(pts[len(pts)-1].V))
+		}
+	}
+	h.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DefaultSampleInterval is the sampler's default period.
+const DefaultSampleInterval = 2 * time.Second
+
+// Sampler drives a History from a Registry on a fixed interval in a
+// background goroutine. Stop is idempotent and waits for the loop to
+// exit. A nil *Sampler is safe to Stop.
+type Sampler struct {
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartSampler begins sampling r into h every interval (<= 0 =
+// DefaultSampleInterval), labelling series with instance (may be
+// empty). One immediate sample lands before the first tick so queries
+// have data as soon as the process is up.
+func StartSampler(h *History, r *Registry, instance string, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		h.Ingest(r.Snapshot(), instance, time.Now())
+		for {
+			select {
+			case <-s.stop:
+				return
+			case t := <-ticker.C:
+				h.Ingest(r.Snapshot(), instance, t)
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends the sampling loop and waits for it.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -150,7 +150,8 @@ var DurationBuckets = []float64{
 // values another subsystem already maintains (cache stats, pool depth,
 // runtime goroutine counts).
 type instrument struct {
-	labels string // rendered `{k="v",...}` suffix, "" when unlabelled
+	labels string      // rendered `{k="v",...}` suffix, "" when unlabelled
+	pairs  [][2]string // the same labels as key/value pairs, for Snapshot
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
@@ -226,8 +227,11 @@ func escapeHelp(v string) string {
 }
 
 // lookup returns (creating if needed) the series for name+labels,
-// enforcing one type and one help string per family.
-func (r *Registry) lookup(name, help, typ string, labels []string) *instrument {
+// enforcing one type and one help string per family. init runs under
+// the registry lock with the instrument, so the payload pointer
+// (c/g/h/fn) is always published before the lock releases — exposition
+// and history sampling may run concurrently with registration.
+func (r *Registry) lookup(name, help, typ string, labels []string, init func(*instrument)) *instrument {
 	if r == nil {
 		return nil
 	}
@@ -243,13 +247,19 @@ func (r *Registry) lookup(name, help, typ string, labels []string) *instrument {
 	} else if f.typ != typ {
 		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.typ, typ))
 	}
-	if ins := f.byLabel[ls]; ins != nil {
-		return ins
+	ins := f.byLabel[ls]
+	if ins == nil {
+		ins = &instrument{labels: ls}
+		for i := 0; i < len(labels); i += 2 {
+			ins.pairs = append(ins.pairs, [2]string{labels[i], labels[i+1]})
+		}
+		f.byLabel[ls] = ins
+		f.series = append(f.series, ins)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
 	}
-	ins := &instrument{labels: ls}
-	f.byLabel[ls] = ins
-	f.series = append(f.series, ins)
-	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	if init != nil {
+		init(ins)
+	}
 	return ins
 }
 
@@ -259,10 +269,11 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	ins := r.lookup(name, help, "counter", labels)
-	if ins.c == nil && ins.fn == nil {
-		ins.c = &Counter{}
-	}
+	ins := r.lookup(name, help, "counter", labels, func(ins *instrument) {
+		if ins.c == nil && ins.fn == nil {
+			ins.c = &Counter{}
+		}
+	})
 	return ins.c
 }
 
@@ -271,10 +282,11 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	ins := r.lookup(name, help, "gauge", labels)
-	if ins.g == nil && ins.fn == nil {
-		ins.g = &Gauge{}
-	}
+	ins := r.lookup(name, help, "gauge", labels, func(ins *instrument) {
+		if ins.g == nil && ins.fn == nil {
+			ins.g = &Gauge{}
+		}
+	})
 	return ins.g
 }
 
@@ -289,11 +301,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 			panic(fmt.Sprintf("obs: histogram %s buckets must ascend", name))
 		}
 	}
-	ins := r.lookup(name, help, "histogram", labels)
-	if ins.h == nil {
-		h := &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
-		ins.h = h
-	}
+	ins := r.lookup(name, help, "histogram", labels, func(ins *instrument) {
+		if ins.h == nil {
+			ins.h = &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+		}
+	})
 	return ins.h
 }
 
@@ -304,8 +316,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...s
 	if r == nil {
 		return
 	}
-	ins := r.lookup(name, help, "counter", labels)
-	ins.fn = fn
+	r.lookup(name, help, "counter", labels, func(ins *instrument) { ins.fn = fn })
 }
 
 // GaugeFunc registers a gauge series read from fn at exposition time.
@@ -313,8 +324,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 	if r == nil {
 		return
 	}
-	ins := r.lookup(name, help, "gauge", labels)
-	ins.fn = fn
+	r.lookup(name, help, "gauge", labels, func(ins *instrument) { ins.fn = fn })
 }
 
 // WritePrometheus renders every registered family in Prometheus text

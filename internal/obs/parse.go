@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition decodes a Prometheus text-exposition payload (the
+// body of a /metrics scrape) into family snapshots, the same shape
+// Registry.Snapshot produces, so a coordinator can ingest a remote
+// worker's scrape into a History exactly like its own registry. It
+// shares the sample tokenizer with Lint but is deliberately lenient
+// where Lint is strict: unknown families become "untyped", missing HELP
+// is tolerated, and histogram suffixes of a declared histogram family
+// fold back into that family as _bucket/_sum/_count samples. Malformed
+// sample lines are errors — a scrape that doesn't tokenize shouldn't be
+// half-ingested.
+func ParseExposition(data []byte) ([]FamilySnapshot, error) {
+	type famAcc struct {
+		snap *FamilySnapshot
+	}
+	fams := make(map[string]*famAcc)
+	var order []*famAcc
+	get := func(name string) *famAcc {
+		f := fams[name]
+		if f == nil {
+			f = &famAcc{snap: &FamilySnapshot{Name: name, Type: "untyped"}}
+			fams[name] = f
+			order = append(order, f)
+		}
+		return f
+	}
+
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue // stray comment, not metadata
+			}
+			switch fields[1] {
+			case "HELP":
+				f := get(fields[2])
+				if len(fields) == 4 {
+					f.snap.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) == 4 {
+					get(fields[2]).snap.Type = fields[3]
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: sample %s: bad value %q", i+1, name, value)
+		}
+
+		// A _bucket/_sum/_count sample whose base family is a declared
+		// histogram is that histogram's expansion; anything else is a
+		// family in its own right (a counter named _count, say).
+		var fam *famAcc
+		suffix := ""
+		if base, kind := histogramBase(name); kind != "" {
+			if bf, ok := fams[base]; ok && bf.snap.Type == "histogram" {
+				fam, suffix = bf, "_"+kind
+			}
+		}
+		if fam == nil {
+			fam = get(name)
+		}
+		fam.snap.Samples = append(fam.snap.Samples, SeriesSample{Suffix: suffix, Labels: labels, Value: v})
+	}
+
+	out := make([]FamilySnapshot, 0, len(order))
+	for _, f := range order {
+		if len(f.snap.Samples) == 0 && f.snap.Type == "untyped" && f.snap.Help == "" {
+			continue
+		}
+		out = append(out, *f.snap)
+	}
+	return out, nil
+}

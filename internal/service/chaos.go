@@ -134,7 +134,8 @@ var errChaosDrop = fmt.Errorf("chaos: stream dropped")
 // truth about it.
 func chaosExempt(r *http.Request) bool {
 	switch r.URL.Path {
-	case "/v1/healthz", "/v1/stats", "/metrics":
+	case "/v1/healthz", "/v1/stats", "/metrics",
+		"/v1/metrics/fleet", "/v1/metrics/history", "/v1/alerts":
 		return true
 	}
 	return strings.HasPrefix(r.URL.Path, "/debug/pprof")

@@ -104,9 +104,10 @@ type ErrorEvent struct {
 
 // Handler returns the daemon's HTTP interface. Serving routes are
 // registered through route() for per-route metrics; the observability
-// endpoints themselves (/v1/healthz, /v1/stats, /metrics) stay
-// un-instrumented so health probes and scrapes do not feed back into
-// the request metrics they read.
+// endpoints themselves (/v1/healthz, /v1/stats, /metrics, the
+// federated/history views and /v1/alerts) stay un-instrumented so
+// health probes and scrapes do not feed back into the request metrics
+// they read.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "POST /v1/query", s.handleQuery)
@@ -122,6 +123,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics/fleet", s.handleFleetMetrics)
+	mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	if s.chaos != nil {
 		return s.chaos.Wrap(mux)
 	}
@@ -132,8 +136,13 @@ func (s *Server) Handler() http.Handler {
 // answers 200 — it is alive and finishing work — but says so, and the
 // fleet health monitor maps "draining" to suspect: no new shards, no
 // hard failure. The body also carries the build identity so an operator
-// (or wtload) can tell which binary answered during a rolling upgrade.
+// (or wtload) can tell which binary answered during a rolling upgrade,
+// and the firing-alert count so readiness tooling can see SLO state
+// without a second request. Status stays "ok"/"draining" regardless —
+// the fleet health monitor treats any other status as a probe failure,
+// and a firing alert must not cascade into shard failover.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -142,9 +151,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
+		Status       string `json:"status"`
+		AlertsFiring int    `json:"alerts_firing"`
 		buildIdentity
-	}{status, s.buildIdentity()})
+	}{status, s.alerts.FiringCount(), s.buildIdentity()})
 }
 
 // handleFleet exposes fleet membership and per-member health state.

@@ -357,14 +357,97 @@ func (s *Server) DebugHandler() http.Handler {
 	return mux
 }
 
+// expositionContentType is the Prometheus text format version header
+// every text telemetry endpoint serves.
+const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// noStore marks a telemetry response uncacheable. Every observability
+// endpoint sets it: a scrape, a stats snapshot or an alert list served
+// stale by an intermediary is worse than no answer — it reports a fleet
+// state that no longer exists.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
+}
+
 // handleMetrics renders the Prometheus exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	if s.tel == nil || s.tel.reg == nil {
 		http.Error(w, "telemetry disabled", http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", expositionContentType)
 	s.tel.reg.WritePrometheus(w)
+}
+
+// partialHeader flags a federated fleet view that is missing at least
+// one member (its last scrape failed). The body still serves everything
+// known — absence is visible both here and as wt_fleet_member_up 0.
+const partialHeader = "X-WT-Partial"
+
+// handleFleetMetrics renders the merged telemetry history's latest
+// samples — on a coordinator, the whole fleet per instance; elsewhere,
+// this process's own sampled series. Exposition format, promlint-clean.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
+	if s.history == nil {
+		http.Error(w, "telemetry disabled", http.StatusNotFound)
+		return
+	}
+	if s.fed.Partial() {
+		w.Header().Set(partialHeader, "true")
+	}
+	w.Header().Set("Content-Type", expositionContentType)
+	s.history.WriteLatestPrometheus(w)
+}
+
+// HistoryResponse is the GET /v1/metrics/history payload: one metric's
+// retained samples per series over the requested window.
+type HistoryResponse struct {
+	Name   string            `json:"name"`
+	Window string            `json:"window"`
+	Series []obs.SeriesRange `json:"series"`
+}
+
+// handleMetricsHistory answers JSON range queries over the telemetry
+// history: GET /v1/metrics/history?name=wt_pool_queue_depth&window=5m.
+// name may be a family or a histogram expansion (_bucket/_sum/_count);
+// window defaults to 5m and is capped only by the ring depth.
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
+	if s.history == nil {
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "telemetry disabled"})
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorEvent{Type: "error", Error: "missing name parameter"})
+		return
+	}
+	window := 5 * time.Minute
+	if v := r.URL.Query().Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorEvent{Type: "error", Error: "bad window: want a positive Go duration like 30s"})
+			return
+		}
+		window = d
+	}
+	series := s.history.Range(name, window, time.Now())
+	if series == nil {
+		series = []obs.SeriesRange{}
+	}
+	writeJSON(w, http.StatusOK, HistoryResponse{Name: name, Window: window.String(), Series: series})
+}
+
+// handleAlerts serves the alert engine's current instance set.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
+	if s.alerts == nil {
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "telemetry disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.alerts.Snapshot())
 }
 
 // buildIdentity is the version block shared by /v1/healthz and
@@ -406,6 +489,7 @@ type ServerStats struct {
 // handleStats answers GET /v1/stats. Unlike /metrics it works with
 // telemetry disabled — it reads live state, not the registry.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	var st ServerStats
 	st.buildIdentity = s.buildIdentity()
 	st.Runtime = obs.ReadRuntime()
@@ -472,6 +556,13 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	spans, dropped := s.tel.tracer.Spans(info.TraceID)
 	if s.fleet != nil {
 		spans, dropped = s.mergePeerSpans(r.Context(), info.TraceID, spans, dropped)
+	}
+	if spans == nil {
+		// The job is known but its trace is gone: the tracer's LRU evicted
+		// it to admit newer jobs' traces. Distinct from "no such job" so a
+		// client can report the table as fine and only the trace as lost.
+		writeJSON(w, http.StatusNotFound, ErrorEvent{Type: "error", Error: "trace evicted"})
+		return
 	}
 	sort.SliceStable(spans, func(i, j int) bool {
 		if !spans[i].Start.Equal(spans[j].Start) {

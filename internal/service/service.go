@@ -151,10 +151,24 @@ type Config struct {
 	// injector (the windtunneld -chaos flag).
 	Chaos *FaultInjector
 	// NoTelemetry disables the observability layer (metrics registry,
-	// Prometheus exposition, distributed tracing). Telemetry is on by
-	// default because it is free on the serving contract: tables and
-	// NDJSON streams are byte-identical either way.
+	// Prometheus exposition, distributed tracing, telemetry history,
+	// fleet metric federation and alerting). Telemetry is on by default
+	// because it is free on the serving contract: tables and NDJSON
+	// streams are byte-identical either way.
 	NoTelemetry bool
+	// HistoryInterval is the telemetry-history sampling period: how
+	// often the registry is snapshotted into the in-process time-series
+	// store, how often a coordinator scrapes its workers' /metrics, and
+	// how often alert rules are evaluated (<= 0 = 2s).
+	HistoryInterval time.Duration
+	// HistoryDepth bounds each history series' ring buffer
+	// (<= 0 = obs.DefaultHistoryDepth: 360 samples, 12 minutes at the
+	// default interval).
+	HistoryDepth int
+	// AlertRules replaces the default alert rule set when non-nil (the
+	// windtunneld -alerts flag loads a rules file merged over the
+	// defaults via LoadAlertRules). nil means DefaultAlertRules.
+	AlertRules []AlertRule
 	// JournalDir, when non-empty, enables the durable job layer: every
 	// client-facing query is write-ahead journaled (query, one fsync'd
 	// record per committed point with its cache key, terminal record),
@@ -177,7 +191,11 @@ type Server struct {
 	health  *Health  // non-nil whenever Peers is configured
 	journal *Journal // non-nil when Config.JournalDir is set
 	chaos   *FaultInjector
-	tel     *telemetry // nil when Config.NoTelemetry
+	tel     *telemetry   // always non-nil; its registry is nil with NoTelemetry
+	history *obs.History // telemetry history store, nil with NoTelemetry
+	sampler *obs.Sampler // samples own registry into history
+	fed     *federator   // coordinator-only fleet /metrics scraper
+	alerts  *alertEngine // rule evaluation over history
 	started time.Time
 	now     func() time.Time
 	// pointGate, when set (tests only), is called before each durable
@@ -270,16 +288,36 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.chaos = cfg.Chaos
 	s.tel.bind(s)
+	if s.tel.reg != nil {
+		// The retention layer: sample our own registry into history on
+		// the interval, labelled the same way our spans are; on a
+		// coordinator additionally scrape every worker's /metrics into
+		// the same store, and evaluate alert rules over the result.
+		s.history = obs.NewHistory(cfg.HistoryDepth)
+		s.sampler = obs.StartSampler(s.history, s.tel.reg, worker, cfg.HistoryInterval)
+		if cfg.Coordinator {
+			s.fed = startFederator(s.history, cfg.Peers, cfg.HistoryInterval)
+		}
+		rules := cfg.AlertRules
+		if rules == nil {
+			rules = DefaultAlertRules()
+		}
+		s.alerts = startAlertEngine(s.history, rules, cfg.HistoryInterval)
+	}
 	return s, nil
 }
 
 // Close stops the server's background work (the health monitor's probe
-// loop). It does not wait for running jobs — that is BeginDrain plus
+// loop, the history sampler, the fleet federator and the alert engine).
+// It does not wait for running jobs — that is BeginDrain plus
 // http.Server.Shutdown's business.
 func (s *Server) Close() {
 	if s.health != nil {
 		s.health.Stop()
 	}
+	s.sampler.Stop()
+	s.fed.Stop()
+	s.alerts.Stop()
 }
 
 // Health exposes the fleet health monitor (nil without Peers).
